@@ -1,0 +1,97 @@
+/// \file scaling.cpp
+/// Scaling study S1 (our addition, see DESIGN.md): how instance size and
+/// runtime grow with
+///   * corridor length (number of stations),
+///   * train count,
+///   * spatial/temporal resolution on the running example.
+/// Printed as tables in the spirit of Table I.
+#include <iomanip>
+#include <iostream>
+
+#include "core/instance.hpp"
+#include "core/tasks.hpp"
+#include "studies/studies.hpp"
+
+using namespace etcs;
+
+namespace {
+
+void corridorScaling() {
+    std::cout << "S1a: corridor length scaling (3 trains, 2 km spacing, r_s = 0.5 km, "
+                 "r_t = 1 min; generation task)\n\n"
+              << std::right << std::setw(9) << "stations" << std::setw(10) << "segments"
+              << std::setw(8) << "steps" << std::setw(9) << "vars" << std::setw(10)
+              << "clauses" << std::setw(6) << "sat" << std::setw(12) << "runtime[s]"
+              << "\n";
+    for (int stations = 2; stations <= 6; ++stations) {
+        const auto study = studies::corridor(stations, 3, Meters::fromKilometers(2.0),
+                                             Resolution{Meters(500), Seconds(60)});
+        const core::Instance instance(study.network, study.trains, study.timedSchedule,
+                                      study.resolution);
+        const auto result = core::generateLayout(instance);
+        std::cout << std::setw(9) << stations << std::setw(10)
+                  << instance.graph().numSegments() << std::setw(8)
+                  << instance.horizonSteps() << std::setw(9) << result.stats.numVariables
+                  << std::setw(10) << result.stats.numClauses << std::setw(6)
+                  << (result.feasible ? "yes" : "no") << std::setw(12) << std::fixed
+                  << std::setprecision(3) << result.stats.runtimeSeconds << "\n";
+    }
+    std::cout << "\n";
+}
+
+void trainScaling() {
+    std::cout << "S1b: train count scaling (4 stations; generation task)\n\n"
+              << std::right << std::setw(7) << "trains" << std::setw(9) << "vars"
+              << std::setw(10) << "clauses" << std::setw(6) << "sat" << std::setw(12)
+              << "runtime[s]" << "\n";
+    for (int trains = 1; trains <= 6; ++trains) {
+        const auto study = studies::corridor(4, trains, Meters::fromKilometers(2.0),
+                                             Resolution{Meters(500), Seconds(60)});
+        const core::Instance instance(study.network, study.trains, study.timedSchedule,
+                                      study.resolution);
+        const auto result = core::generateLayout(instance);
+        std::cout << std::setw(7) << trains << std::setw(9) << result.stats.numVariables
+                  << std::setw(10) << result.stats.numClauses << std::setw(6)
+                  << (result.feasible ? "yes" : "no") << std::setw(12) << std::fixed
+                  << std::setprecision(3) << result.stats.runtimeSeconds << "\n";
+    }
+    std::cout << "\n";
+}
+
+void resolutionScaling() {
+    std::cout << "S1c: resolution scaling on the running example (generation task)\n"
+              << "     (coarse grids can lose feasibility -- discretization artifact;\n"
+              << "      refining the grid keeps the schedule realizable)\n\n"
+              << std::right << std::setw(10) << "r_s[km]" << std::setw(10) << "r_t[min]"
+              << std::setw(10) << "segments" << std::setw(8) << "steps" << std::setw(9)
+              << "vars" << std::setw(6) << "sat" << std::setw(12) << "runtime[s]" << "\n";
+    const auto base = studies::runningExample();
+    const struct {
+        double rsKm;
+        double rtMin;
+    } grid[] = {{1.0, 1.0}, {0.5, 0.5}, {0.25, 0.25}};
+    for (const auto& g : grid) {
+        const Resolution resolution{Meters::fromKilometers(g.rsKm),
+                                    Seconds::fromMinutes(g.rtMin)};
+        const core::Instance instance(base.network, base.trains, base.timedSchedule,
+                                      resolution);
+        const auto result = core::generateLayout(instance);
+        std::cout << std::setw(10) << g.rsKm << std::setw(10) << g.rtMin << std::setw(10)
+                  << instance.graph().numSegments() << std::setw(8)
+                  << instance.horizonSteps() << std::setw(9) << result.stats.numVariables
+                  << std::setw(6) << (result.feasible ? "yes" : "no") << std::setw(12)
+                  << std::fixed << std::setprecision(3) << result.stats.runtimeSeconds
+                  << "\n";
+    }
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "SCALING STUDY (extension to the paper's evaluation)\n\n";
+    corridorScaling();
+    trainScaling();
+    resolutionScaling();
+    return 0;
+}

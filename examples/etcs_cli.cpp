@@ -1,0 +1,191 @@
+/// \file etcs_cli.cpp
+/// Command-line front end: run the paper's design tasks on network/scenario
+/// files (formats documented in railway/io.hpp).
+///
+///   etcs_cli verify   <network.rail> <scenario.sched> --rs <m> --rt <s>
+///   etcs_cli generate <network.rail> <scenario.sched> --rs <m> --rt <s> [--dot out.dot]
+///   etcs_cli optimize <network.rail> <scenario.sched> --rs <m> --rt <s> [--dot out.dot]
+///   etcs_cli encode   <network.rail> <scenario.sched> --rs <m> --rt <s> --cnf out.cnf [--pure]
+///
+/// `encode` exports the satisfiability instance in DIMACS CNF format
+/// (free-layout generation encoding; --pure pins the pure TTD layout as in
+/// the verification task) for use with any external SAT solver.
+///
+/// Exit code: 0 = task solved (verification feasible / layout found),
+///            1 = proven infeasible, 2 = usage or input error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "cnf/collect.hpp"
+#include "core/encoder.hpp"
+#include "core/instance.hpp"
+#include "core/tasks.hpp"
+#include "railway/dot.hpp"
+#include "railway/io.hpp"
+
+using namespace etcs;
+
+namespace {
+
+struct CliOptions {
+    std::string command;
+    std::string networkFile;
+    std::string scenarioFile;
+    Meters spatial{};
+    Seconds temporal{};
+    std::optional<std::string> dotFile;
+    std::optional<std::string> cnfFile;
+    bool pureLayout = false;
+};
+
+void usage() {
+    std::cerr << "usage: etcs_cli <verify|generate|optimize|encode> <network.rail> "
+                 "<scenario.sched> --rs <meters> --rt <seconds> [--dot <file>] "
+                 "[--cnf <file>] [--pure]\n";
+}
+
+std::optional<CliOptions> parseArguments(int argc, char** argv) {
+    if (argc < 4) {
+        return std::nullopt;
+    }
+    CliOptions options;
+    options.command = argv[1];
+    options.networkFile = argv[2];
+    options.scenarioFile = argv[3];
+    for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--pure") == 0) {
+            options.pureLayout = true;
+            continue;
+        }
+        if (i + 1 >= argc) {
+            return std::nullopt;
+        }
+        if (std::strcmp(argv[i], "--rs") == 0) {
+            options.spatial = Meters(std::atoll(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--rt") == 0) {
+            options.temporal = Seconds(std::atoll(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--dot") == 0) {
+            options.dotFile = argv[i + 1];
+        } else if (std::strcmp(argv[i], "--cnf") == 0) {
+            options.cnfFile = argv[i + 1];
+        } else {
+            return std::nullopt;
+        }
+        ++i;
+    }
+    if (options.spatial.count() <= 0 || options.temporal.count() <= 0) {
+        std::cerr << "error: --rs and --rt are required and must be positive\n";
+        return std::nullopt;
+    }
+    if (options.command != "verify" && options.command != "generate" &&
+        options.command != "optimize" && options.command != "encode") {
+        return std::nullopt;
+    }
+    if (options.command == "encode" && !options.cnfFile) {
+        std::cerr << "error: encode requires --cnf <file>\n";
+        return std::nullopt;
+    }
+    return options;
+}
+
+void maybeWriteDot(const CliOptions& options, const rail::SegmentGraph& graph,
+                   const core::VssLayout& layout) {
+    if (!options.dotFile) {
+        return;
+    }
+    std::ofstream out(*options.dotFile);
+    rail::writeDot(out, graph, &layout.flags());
+    std::cout << "layout drawing written to " << *options.dotFile << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto options = parseArguments(argc, argv);
+    if (!options) {
+        usage();
+        return 2;
+    }
+    try {
+        std::ifstream networkIn(options->networkFile);
+        if (!networkIn) {
+            std::cerr << "error: cannot open " << options->networkFile << "\n";
+            return 2;
+        }
+        const rail::Network network = rail::readNetwork(networkIn);
+
+        std::ifstream scenarioIn(options->scenarioFile);
+        if (!scenarioIn) {
+            std::cerr << "error: cannot open " << options->scenarioFile << "\n";
+            return 2;
+        }
+        const rail::Scenario scenario = rail::readScenario(scenarioIn, network);
+
+        const Resolution resolution{options->spatial, options->temporal};
+        const core::Instance instance(network, scenario.trains, scenario.schedule, resolution);
+        std::cout << "network '" << network.name() << "': "
+                  << instance.graph().numSegments() << " segments, "
+                  << instance.horizonSteps() << " time steps, " << instance.numRuns()
+                  << " trains\n";
+
+        if (options->command == "encode") {
+            cnf::CollectingBackend collector;
+            core::Encoder encoder(collector, instance);
+            const core::VssLayout pure(instance.graph());
+            encoder.encode(options->pureLayout ? &pure : nullptr);
+            std::ofstream out(*options->cnfFile);
+            sat::writeDimacs(out, collector.formula());
+            std::cout << "DIMACS instance written to " << *options->cnfFile << " ("
+                      << collector.numVariables() << " vars, " << collector.numClauses()
+                      << " clauses, " << (options->pureLayout ? "pure-TTD" : "free")
+                      << " layout)\n";
+            return 0;
+        }
+        if (options->command == "verify") {
+            const core::VssLayout pure(instance.graph());
+            const auto result = core::verifySchedule(instance, pure);
+            std::cout << "verification on the pure TTD layout ("
+                      << pure.sectionCount(instance.graph()) << " sections): "
+                      << (result.feasible ? "FEASIBLE" : "INFEASIBLE") << " ["
+                      << result.stats.numVariables << " vars, "
+                      << result.stats.runtimeSeconds << " s]\n";
+            return result.feasible ? 0 : 1;
+        }
+        if (options->command == "generate") {
+            const auto result = core::generateLayout(instance);
+            if (!result.feasible) {
+                std::cout << "no VSS layout can realize this schedule\n";
+                return 1;
+            }
+            std::cout << "layout found: " << result.sectionCount << " TTD/VSS sections ("
+                      << result.solution->layout.virtualBorderCount(instance.graph())
+                      << " virtual borders) [" << result.stats.numVariables << " vars, "
+                      << result.stats.runtimeSeconds << " s]\n";
+            maybeWriteDot(*options, instance.graph(), result.solution->layout);
+            return 0;
+        }
+        // optimize
+        const auto result = core::optimizeSchedule(instance);
+        if (!result.feasible) {
+            std::cout << "the trains cannot complete within the scenario horizon\n";
+            return 1;
+        }
+        std::cout << "optimal completion: " << result.completionSteps << " time steps ("
+                  << resolution.timeOf(result.completionSteps).clock() << ") with "
+                  << result.sectionCount << " sections [" << result.stats.runtimeSeconds
+                  << " s]\n";
+        for (std::size_t r = 0; r < instance.numRuns(); ++r) {
+            std::cout << "  " << scenario.trains.train(instance.runs()[r].train).name
+                      << " arrives "
+                      << resolution.timeOf(result.solution->traces[r].firstArrivalStep).clock()
+                      << "\n";
+        }
+        maybeWriteDot(*options, instance.graph(), result.solution->layout);
+        return 0;
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -1,0 +1,76 @@
+/// \file layout_generation.cpp
+/// The paper's second design task on the Fig. 4a "Simple Layout": generate a
+/// minimal VSS layout for a schedule the pure TTD layout cannot realize,
+/// print where the virtual borders go, and export Graphviz drawings.
+///
+/// Usage: layout_generation [output-prefix]
+///   Writes <prefix>_network.dot and <prefix>_vss.dot (default prefix:
+///   "simple_layout").
+#include <fstream>
+#include <iostream>
+
+#include "core/instance.hpp"
+#include "core/tasks.hpp"
+#include "railway/dot.hpp"
+#include "studies/studies.hpp"
+
+using namespace etcs;
+
+int main(int argc, char** argv) {
+    const std::string prefix = argc > 1 ? argv[1] : "simple_layout";
+    const auto study = studies::simpleLayout();
+    const core::Instance instance(study.network, study.trains, study.timedSchedule,
+                                  study.resolution);
+
+    std::cout << "=== " << study.name << " ===\n"
+              << "tracks: " << study.network.numTracks() << ", TTD sections: "
+              << study.network.numTtds() << ", segments at r_s = "
+              << study.resolution.spatial.kilometers()
+              << " km: " << instance.graph().numSegments() << "\n\n";
+
+    // The schedule fails on the pure TTD layout...
+    const core::VssLayout pure(instance.graph());
+    const auto verification = core::verifySchedule(instance, pure);
+    std::cout << "schedule on the pure TTD layout: "
+              << (verification.feasible ? "feasible" : "infeasible") << "\n";
+
+    // ... so let the solver place virtual subsections.
+    const auto generation = core::generateLayout(instance);
+    if (!generation.feasible) {
+        std::cout << "no VSS layout can realize the schedule -- nothing to export\n";
+        return 1;
+    }
+    const core::VssLayout& layout = generation.solution->layout;
+    std::cout << "generated layout: " << generation.sectionCount << " sections ("
+              << layout.virtualBorderCount(instance.graph()) << " virtual borders), "
+              << generation.stats.numVariables << " variables, "
+              << generation.stats.runtimeSeconds << " s\n\n";
+
+    // Describe each virtual border in railway terms.
+    const auto& graph = instance.graph();
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        const SegNodeId node{n};
+        if (graph.node(node).fixedBorder || !layout.flags()[n]) {
+            continue;
+        }
+        const auto segments = graph.segmentsAt(node);
+        std::cout << "virtual border between";
+        for (SegmentId s : segments) {
+            std::cout << " " << graph.segmentLabel(s);
+        }
+        std::cout << "\n";
+    }
+
+    // Export DOT drawings: the physical network and the VSS decomposition.
+    {
+        std::ofstream out(prefix + "_network.dot");
+        rail::writeDot(out, study.network);
+    }
+    {
+        std::ofstream out(prefix + "_vss.dot");
+        rail::writeDot(out, graph, &layout.flags());
+    }
+    std::cout << "\nwrote " << prefix << "_network.dot and " << prefix
+              << "_vss.dot (render with: neato -Tsvg / dot -Tsvg)\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/// \file quickstart.cpp
+/// Five-minute tour of the library: build a small railway network, define a
+/// schedule, and run all three ETCS Level 3 design tasks.
+///
+///   network:   StWest ===TTD_W=== [loop] ===TTD_E=== StEast
+///   schedule:  one eastbound and one westbound train that must pass at the
+///              middle loop.
+#include <iostream>
+
+#include "core/instance.hpp"
+#include "core/tasks.hpp"
+#include "core/validator.hpp"
+#include "railway/network.hpp"
+#include "railway/schedule.hpp"
+#include "railway/train.hpp"
+
+using namespace etcs;
+
+int main() {
+    // 1. Describe the physical network: nodes, tracks, TTD sections,
+    //    stations. The middle passing loop has two parallel tracks.
+    rail::Network network("quickstart");
+    const auto west = network.addNode("west");
+    const auto loopIn = network.addNode("loopIn");
+    const auto loopOut = network.addNode("loopOut");
+    const auto east = network.addNode("east");
+
+    const auto lineW = network.addTrack("lineW", west, loopIn, Meters::fromKilometers(2.0));
+    const auto loopA = network.addTrack("loopA", loopIn, loopOut, Meters::fromKilometers(1.0));
+    const auto loopB = network.addTrack("loopB", loopIn, loopOut, Meters::fromKilometers(1.0));
+    const auto lineE = network.addTrack("lineE", loopOut, east, Meters::fromKilometers(2.0));
+
+    network.addTtd("TTD_W", {lineW});
+    network.addTtd("TTD_LA", {loopA});
+    network.addTtd("TTD_LB", {loopB});
+    network.addTtd("TTD_E", {lineE});
+
+    const auto stWest = network.addStation("StWest", lineW, Meters(0));
+    const auto stEast = network.addStation("StEast", lineE, Meters::fromKilometers(2.0));
+    network.validate();
+
+    // 2. Trains and a (fully timed) schedule.
+    rail::TrainSet trains;
+    const auto icEast = trains.addTrain("IC-East", Speed::fromKmPerHour(120), Meters(200));
+    const auto icWest = trains.addTrain("IC-West", Speed::fromKmPerHour(120), Meters(200));
+
+    rail::Schedule schedule;
+    auto addRun = [&schedule](TrainId train, StationId from, StationId to, const char* dep,
+                              const char* arr) {
+        rail::TrainRun run;
+        run.train = train;
+        run.origin = from;
+        run.departure = Seconds::parse(dep);
+        run.stops.push_back(rail::TimedStop{to, Seconds::parse(arr)});
+        schedule.addRun(run);
+    };
+    addRun(icEast, stWest, stEast, "0:00", "0:08");
+    addRun(icWest, stEast, stWest, "0:00", "0:08");
+
+    // 3. Discretize: r_s = 0.5 km, r_t = 1 min (paper Sec. III-A).
+    const Resolution resolution{Meters::fromKilometers(0.5), Seconds::fromMinutes(1.0)};
+    const core::Instance instance(network, trains, schedule, resolution);
+    std::cout << "instance: " << instance.graph().numSegments() << " segments, "
+              << instance.horizonSteps() << " time steps\n\n";
+
+    // 4. Task 1 -- verification: does the schedule work on the pure TTD
+    //    layout (no virtual subsections)?
+    const core::VssLayout pureTtd(instance.graph());
+    const auto verification = core::verifySchedule(instance, pureTtd);
+    std::cout << "verification on pure TTD layout (" << pureTtd.sectionCount(instance.graph())
+              << " sections): " << (verification.feasible ? "works" : "does NOT work") << "\n";
+
+    // 5. Task 2 -- generation: find a VSS layout (with as few sections as
+    //    possible) on which the schedule does work.
+    const auto generation = core::generateLayout(instance);
+    if (generation.feasible) {
+        std::cout << "generated VSS layout with " << generation.sectionCount
+                  << " sections (runtime " << generation.stats.runtimeSeconds << " s)\n";
+        const auto violations = core::validateSolution(instance, *generation.solution);
+        std::cout << "independent validator: "
+                  << (violations.empty() ? "solution OK" : "VIOLATIONS!") << "\n";
+    } else {
+        std::cout << "no VSS layout can realize this schedule\n";
+    }
+
+    // 6. Task 3 -- optimization: drop the arrival times and ask for the
+    //    fastest schedule any VSS layout allows.
+    rail::Schedule open;
+    for (const auto& run : schedule.runs()) {
+        rail::TrainRun openRun = run;
+        openRun.stops.back().arrival.reset();
+        open.addRun(openRun);
+    }
+    open.setHorizon(schedule.horizon());
+    const core::Instance openInstance(network, trains, open, resolution);
+    const auto optimization = core::optimizeSchedule(openInstance);
+    if (optimization.feasible) {
+        std::cout << "optimized schedule completes in " << optimization.completionSteps
+                  << " steps (of " << openInstance.horizonSteps() << " available) using "
+                  << optimization.sectionCount << " sections\n";
+        for (std::size_t r = 0; r < optimization.solution->traces.size(); ++r) {
+            const auto& trace = optimization.solution->traces[r];
+            std::cout << "  " << trains.train(openInstance.runs()[r].train).name
+                      << " arrives at step " << trace.firstArrivalStep << " ("
+                      << resolution.timeOf(trace.firstArrivalStep).clock() << ")\n";
+        }
+    }
+    return 0;
+}

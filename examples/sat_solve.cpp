@@ -1,0 +1,115 @@
+/// \file sat_solve.cpp
+/// Standalone DIMACS front end for the built-in CDCL solver — useful for
+/// exercising the SAT substrate on standard benchmark files.
+///
+///   sat_solve [--preprocess] [--no-restarts] [--stats] [file.cnf]
+///
+/// Reads DIMACS CNF from the file (or stdin), prints the SAT-competition
+/// style result ("s SATISFIABLE" + "v ..." model lines, or
+/// "s UNSATISFIABLE"). Exit code: 10 = SAT, 20 = UNSAT (competition
+/// convention), 2 = input error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "sat/dimacs.hpp"
+#include "sat/preprocess.hpp"
+#include "sat/solver.hpp"
+
+using namespace etcs::sat;
+
+int main(int argc, char** argv) {
+    bool runPreprocess = false;
+    bool noRestarts = false;
+    bool printStats = false;
+    const char* path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--preprocess") == 0) {
+            runPreprocess = true;
+        } else if (std::strcmp(argv[i], "--no-restarts") == 0) {
+            noRestarts = true;
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+            printStats = true;
+        } else if (argv[i][0] == '-') {
+            std::cerr << "usage: sat_solve [--preprocess] [--no-restarts] [--stats] "
+                         "[file.cnf]\n";
+            return 2;
+        } else {
+            path = argv[i];
+        }
+    }
+
+    try {
+        CnfFormula formula;
+        if (path != nullptr) {
+            std::ifstream in(path);
+            if (!in) {
+                std::cerr << "c cannot open " << path << "\n";
+                return 2;
+            }
+            formula = readDimacs(in);
+        } else {
+            formula = readDimacs(std::cin);
+        }
+        std::cout << "c parsed " << formula.numVariables << " variables, "
+                  << formula.clauses.size() << " clauses\n";
+
+        std::vector<Literal> fixed;
+        if (runPreprocess) {
+            const auto pre = preprocess(formula);
+            std::cout << "c preprocess: " << pre.stats.propagatedUnits << " units, "
+                      << pre.stats.eliminatedPureLiterals << " pure, "
+                      << pre.stats.subsumedClauses << " subsumed, "
+                      << pre.stats.strengthenedClauses << " strengthened ("
+                      << pre.stats.rounds << " rounds)\n";
+            if (pre.unsatisfiable) {
+                std::cout << "s UNSATISFIABLE\n";
+                return 20;
+            }
+            fixed = pre.fixedLiterals;
+            fixed.insert(fixed.end(), pre.pureLiterals.begin(), pre.pureLiterals.end());
+        }
+
+        Solver solver;
+        solver.options().useRestarts = !noRestarts;
+        for (int v = 0; v < formula.numVariables; ++v) {
+            solver.addVariable();
+        }
+        for (const auto& clause : formula.clauses) {
+            solver.addClause(clause);
+        }
+
+        const SolveStatus status = solver.solve();
+        if (printStats) {
+            const auto& stats = solver.stats();
+            std::cout << "c decisions " << stats.decisions << ", conflicts "
+                      << stats.conflicts << ", propagations " << stats.propagations
+                      << ", restarts " << stats.restarts << ", learned "
+                      << stats.learnedClauses << "\n";
+        }
+        if (status == SolveStatus::Unsat) {
+            std::cout << "s UNSATISFIABLE\n";
+            return 20;
+        }
+        std::cout << "s SATISFIABLE\nv";
+        // The preprocessor's fixed/pure literals override the reduced
+        // formula's (possibly unconstrained) values.
+        std::vector<Value> model(static_cast<std::size_t>(formula.numVariables));
+        for (Var v = 0; v < formula.numVariables; ++v) {
+            model[static_cast<std::size_t>(v)] = solver.modelValue(v);
+        }
+        for (Literal l : fixed) {
+            model[static_cast<std::size_t>(l.var())] = l.sign() ? Value::False : Value::True;
+        }
+        for (Var v = 0; v < formula.numVariables; ++v) {
+            std::cout << ' '
+                      << (model[static_cast<std::size_t>(v)] == Value::True ? v + 1
+                                                                            : -(v + 1));
+        }
+        std::cout << " 0\n";
+        return 10;
+    } catch (const etcs::Error& e) {
+        std::cerr << "c error: " << e.what() << "\n";
+        return 2;
+    }
+}

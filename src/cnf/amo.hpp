@@ -1,0 +1,33 @@
+/// \file amo.hpp
+/// At-most-one and exactly-one constraint encodings.
+///
+/// Several encodings are provided because their clause/auxiliary-variable
+/// trade-offs differ; `bench/ablation_encodings` compares them on the ETCS
+/// chain-selector groups where they are used.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "cnf/backend.hpp"
+
+namespace etcs::cnf {
+
+enum class AmoEncoding {
+    Pairwise,    ///< O(n^2) clauses, no auxiliaries; best for tiny groups.
+    Sequential,  ///< Sinz commander chain: 3n clauses, n auxiliaries.
+    Commander,   ///< recursive group commanders (group size 3).
+    Product,     ///< 2D product encoding (rows x columns).
+};
+
+[[nodiscard]] std::string_view toString(AmoEncoding encoding);
+
+/// Add clauses enforcing that at most one of `literals` is true.
+void addAtMostOne(SatBackend& backend, std::span<const Literal> literals,
+                  AmoEncoding encoding = AmoEncoding::Sequential);
+
+/// Add clauses enforcing that exactly one of `literals` is true.
+void addExactlyOne(SatBackend& backend, std::span<const Literal> literals,
+                   AmoEncoding encoding = AmoEncoding::Sequential);
+
+}  // namespace etcs::cnf

@@ -1,0 +1,66 @@
+/// \file backend.hpp
+/// Solver-agnostic interface for building and solving CNF formulas.
+///
+/// All encoders in this library target SatBackend, so the same encoding can
+/// run on the built-in CDCL solver (InternalBackend) or, when available, on
+/// Z3 (Z3Backend) for cross-validation.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace etcs::cnf {
+
+using sat::Literal;
+using sat::SolveStatus;
+using sat::Var;
+
+class SatBackend {
+public:
+    virtual ~SatBackend() = default;
+
+    /// Create a fresh Boolean variable.
+    virtual Var addVariable() = 0;
+    [[nodiscard]] virtual int numVariables() const = 0;
+    [[nodiscard]] virtual std::size_t numClauses() const = 0;
+
+    /// Add a clause (disjunction of literals) to the formula.
+    virtual void addClause(std::span<const Literal> literals) = 0;
+    void addClause(std::initializer_list<Literal> literals) {
+        addClause(std::span<const Literal>(literals.begin(), literals.size()));
+    }
+    void addUnit(Literal l) { addClause({l}); }
+
+    /// Decide satisfiability under the given assumptions.
+    virtual SolveStatus solve(std::span<const Literal> assumptions) = 0;
+    SolveStatus solve(std::initializer_list<Literal> assumptions) {
+        return solve(std::span<const Literal>(assumptions.begin(), assumptions.size()));
+    }
+    SolveStatus solve() { return solve(std::span<const Literal>{}); }
+
+    /// True iff the literal holds in the most recent satisfying model.
+    [[nodiscard]] virtual bool modelValue(Literal l) const = 0;
+    [[nodiscard]] bool modelValue(Var v) const { return modelValue(Literal::positive(v)); }
+
+    /// After Unsat under assumptions: a subset of the assumptions that is
+    /// jointly unsatisfiable with the formula.
+    [[nodiscard]] virtual std::vector<Literal> conflictCore() const = 0;
+
+    /// Human-readable backend name (for reports and logs).
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Create the built-in CDCL backend.
+[[nodiscard]] std::unique_ptr<SatBackend> makeInternalBackend();
+
+#ifdef ETCS_HAVE_Z3
+/// Create the Z3 cross-check backend (only compiled when libz3 is found).
+[[nodiscard]] std::unique_ptr<SatBackend> makeZ3Backend();
+#endif
+
+}  // namespace etcs::cnf

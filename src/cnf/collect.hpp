@@ -1,0 +1,48 @@
+/// \file collect.hpp
+/// A SatBackend that records the formula instead of solving it — used to
+/// export encodings (e.g. to DIMACS) and to inspect formulas in tests and
+/// benchmarks.
+#pragma once
+
+#include "cnf/backend.hpp"
+#include "sat/dimacs.hpp"
+
+namespace etcs::cnf {
+
+/// Records every variable and clause; solve() always reports Unknown.
+class CollectingBackend final : public SatBackend {
+public:
+    using SatBackend::addClause;  // keep the initializer_list conveniences
+    using SatBackend::solve;
+
+    Var addVariable() override { return numVariables_++; }
+    [[nodiscard]] int numVariables() const override { return numVariables_; }
+    [[nodiscard]] std::size_t numClauses() const override { return clauses_.size(); }
+
+    void addClause(std::span<const Literal> literals) override {
+        clauses_.emplace_back(literals.begin(), literals.end());
+    }
+
+    SolveStatus solve(std::span<const Literal>) override { return SolveStatus::Unknown; }
+    [[nodiscard]] bool modelValue(Literal) const override { return false; }
+    [[nodiscard]] std::vector<Literal> conflictCore() const override { return {}; }
+    [[nodiscard]] std::string name() const override { return "collector"; }
+
+    /// The recorded formula, ready for sat::writeDimacs or a real solver.
+    [[nodiscard]] sat::CnfFormula formula() const {
+        sat::CnfFormula f;
+        f.numVariables = numVariables_;
+        f.clauses = clauses_;
+        return f;
+    }
+
+    [[nodiscard]] const std::vector<std::vector<Literal>>& clauses() const noexcept {
+        return clauses_;
+    }
+
+private:
+    Var numVariables_ = 0;
+    std::vector<std::vector<Literal>> clauses_;
+};
+
+}  // namespace etcs::cnf

@@ -1,0 +1,80 @@
+/// \file formula.hpp
+/// Small formula-construction helpers (implications, Tseitin gates) on top of
+/// a SatBackend.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnf/backend.hpp"
+
+namespace etcs::cnf {
+
+/// antecedent -> consequent
+inline void addImplication(SatBackend& backend, Literal antecedent, Literal consequent) {
+    backend.addClause({~antecedent, consequent});
+}
+
+/// antecedent -> (d1 | d2 | ...)
+inline void addImplicationToDisjunction(SatBackend& backend, Literal antecedent,
+                                        std::span<const Literal> disjunction) {
+    std::vector<Literal> clause;
+    clause.reserve(disjunction.size() + 1);
+    clause.push_back(~antecedent);
+    clause.insert(clause.end(), disjunction.begin(), disjunction.end());
+    backend.addClause(clause);
+}
+
+/// (a1 & a2 & ...) -> (d1 | d2 | ...)
+inline void addConjunctionImpliesDisjunction(SatBackend& backend,
+                                             std::span<const Literal> conjunction,
+                                             std::span<const Literal> disjunction) {
+    std::vector<Literal> clause;
+    clause.reserve(conjunction.size() + disjunction.size());
+    for (Literal a : conjunction) {
+        clause.push_back(~a);
+    }
+    clause.insert(clause.end(), disjunction.begin(), disjunction.end());
+    backend.addClause(clause);
+}
+
+/// a <-> b
+inline void addEquivalence(SatBackend& backend, Literal a, Literal b) {
+    backend.addClause({~a, b});
+    backend.addClause({a, ~b});
+}
+
+/// At least one of the literals holds.
+inline void addAtLeastOne(SatBackend& backend, std::span<const Literal> literals) {
+    backend.addClause(literals);
+}
+
+/// Tseitin AND gate: returns y with y <-> (l1 & l2 & ...).
+inline Literal makeAnd(SatBackend& backend, std::span<const Literal> inputs) {
+    const Literal y = Literal::positive(backend.addVariable());
+    std::vector<Literal> longClause;
+    longClause.reserve(inputs.size() + 1);
+    longClause.push_back(y);
+    for (Literal l : inputs) {
+        backend.addClause({~y, l});  // y -> l
+        longClause.push_back(~l);    // (&inputs) -> y
+    }
+    backend.addClause(longClause);
+    return y;
+}
+
+/// Tseitin OR gate: returns y with y <-> (l1 | l2 | ...).
+inline Literal makeOr(SatBackend& backend, std::span<const Literal> inputs) {
+    const Literal y = Literal::positive(backend.addVariable());
+    std::vector<Literal> longClause;
+    longClause.reserve(inputs.size() + 1);
+    longClause.push_back(~y);
+    for (Literal l : inputs) {
+        backend.addClause({~l, y});  // l -> y
+        longClause.push_back(l);     // y -> (|inputs)
+    }
+    backend.addClause(longClause);
+    return y;
+}
+
+}  // namespace etcs::cnf

@@ -1,0 +1,43 @@
+#include "cnf/backend.hpp"
+#include "sat/solver.hpp"
+
+namespace etcs::cnf {
+
+namespace {
+
+/// SatBackend implementation on top of the built-in CDCL solver.
+class InternalBackend final : public SatBackend {
+public:
+    Var addVariable() override { return solver_.addVariable(); }
+    int numVariables() const override { return solver_.numVariables(); }
+    std::size_t numClauses() const override { return clausesAdded_; }
+
+    void addClause(std::span<const Literal> literals) override {
+        ++clausesAdded_;
+        solver_.addClause(literals);
+    }
+
+    SolveStatus solve(std::span<const Literal> assumptions) override {
+        return solver_.solve(assumptions);
+    }
+
+    bool modelValue(Literal l) const override {
+        return solver_.modelValue(l) == sat::Value::True;
+    }
+
+    std::vector<Literal> conflictCore() const override { return solver_.conflictCore(); }
+
+    std::string name() const override { return "internal-cdcl"; }
+
+private:
+    sat::Solver solver_;
+    std::size_t clausesAdded_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SatBackend> makeInternalBackend() {
+    return std::make_unique<InternalBackend>();
+}
+
+}  // namespace etcs::cnf

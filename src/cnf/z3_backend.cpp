@@ -1,0 +1,99 @@
+// Z3 cross-check backend; compiled only when libz3 is available.
+#ifdef ETCS_HAVE_Z3
+
+#include <z3++.h>
+
+#include <unordered_map>
+
+#include "cnf/backend.hpp"
+#include "util/error.hpp"
+
+namespace etcs::cnf {
+
+namespace {
+
+class Z3Backend final : public SatBackend {
+public:
+    Z3Backend() : solver_(context_) {}
+
+    Var addVariable() override {
+        const Var v = static_cast<Var>(vars_.size());
+        vars_.push_back(context_.bool_const(("v" + std::to_string(v)).c_str()));
+        return v;
+    }
+
+    int numVariables() const override { return static_cast<int>(vars_.size()); }
+    std::size_t numClauses() const override { return clausesAdded_; }
+
+    void addClause(std::span<const Literal> literals) override {
+        ++clausesAdded_;
+        z3::expr_vector disjuncts(context_);
+        for (Literal l : literals) {
+            disjuncts.push_back(toExpr(l));
+        }
+        solver_.add(z3::mk_or(disjuncts));
+    }
+
+    SolveStatus solve(std::span<const Literal> assumptions) override {
+        z3::expr_vector assumptionExprs(context_);
+        lastAssumptions_.clear();
+        for (Literal l : assumptions) {
+            assumptionExprs.push_back(toExpr(l));
+            lastAssumptions_.emplace(toExpr(l).id(), l);
+        }
+        switch (solver_.check(assumptionExprs)) {
+            case z3::sat: {
+                model_ = std::make_unique<z3::model>(solver_.get_model());
+                return SolveStatus::Sat;
+            }
+            case z3::unsat:
+                return SolveStatus::Unsat;
+            default:
+                return SolveStatus::Unknown;
+        }
+    }
+
+    bool modelValue(Literal l) const override {
+        ETCS_REQUIRE_MSG(model_ != nullptr, "no model available");
+        const z3::expr value = model_->eval(vars_[l.var()], /*model_completion=*/true);
+        const bool varTrue = value.is_true();
+        return l.sign() ? !varTrue : varTrue;
+    }
+
+    std::vector<Literal> conflictCore() const override {
+        std::vector<Literal> core;
+        for (const z3::expr& e : solver_.unsat_core()) {
+            const auto it = lastAssumptions_.find(e.id());
+            if (it != lastAssumptions_.end()) {
+                core.push_back(it->second);
+            }
+        }
+        return core;
+    }
+
+    std::string name() const override { return "z3"; }
+
+private:
+    z3::expr toExpr(Literal l) {
+        ETCS_REQUIRE_MSG(l.var() >= 0 && l.var() < numVariables(),
+                         "literal references unknown variable");
+        return l.sign() ? !vars_[l.var()] : vars_[l.var()];
+    }
+
+    z3::context context_;
+    z3::solver solver_;
+    std::vector<z3::expr> vars_;
+    std::unique_ptr<z3::model> model_;
+    std::unordered_map<unsigned, Literal> lastAssumptions_;
+    std::size_t clausesAdded_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SatBackend> makeZ3Backend() {
+    return std::make_unique<Z3Backend>();
+}
+
+}  // namespace etcs::cnf
+
+#endif  // ETCS_HAVE_Z3

@@ -1,0 +1,101 @@
+/// \file analysis.hpp
+/// Higher-level design-space analyses built on the three base tasks:
+///
+///  * tradeoffCurve     — "how much does each additional virtual border
+///    buy?": for every budget of k virtual borders, the fastest achievable
+///    completion time. This quantifies the paper's claim that VSS unveil
+///    scheduling potential, one border at a time.
+///  * delayRobustness   — "which departure delays does the timetable
+///    survive?": per train and delay, whether the schedule remains
+///    realizable on a fixed layout. Verification "covering all
+///    possibilities" is the paper's stated motivation (footnote 4).
+///  * generateLayoutWeighted — generation with per-border installation
+///    costs instead of plain border counting.
+#pragma once
+
+#include <vector>
+
+#include "core/tasks.hpp"
+
+namespace etcs::core {
+
+/// One point of the borders-vs-completion trade-off curve.
+struct TradeoffPoint {
+    int extraBorders = 0;     ///< budget: at most this many virtual borders
+    bool feasible = false;    ///< schedule completable within the horizon
+    int completionSteps = 0;  ///< minimal completion under the budget
+    int sectionCount = 0;     ///< sections of the witness layout
+};
+
+/// For k = 0..maxExtraBorders: the minimal completion time achievable with
+/// at most k virtual borders (departures fixed, arrivals open).  The curve
+/// is non-increasing in k.  Encodes once and sweeps budgets via solver
+/// assumptions.
+[[nodiscard]] std::vector<TradeoffPoint> tradeoffCurve(const Instance& instance,
+                                                       int maxExtraBorders,
+                                                       const TaskOptions& options = {});
+
+/// Per-train delay tolerance of a fully timed schedule on a fixed layout.
+struct RobustnessReport {
+    /// feasible[r][d-1]: does the schedule still work when run r departs d
+    /// steps late (its arrivals shifted alike)?
+    std::vector<std::vector<bool>> feasible;
+    /// toleranceSteps[r]: largest d in [0..maxDelay] with all of 1..d
+    /// feasible (0 = any delay breaks the timetable).
+    std::vector<int> toleranceSteps;
+};
+
+/// Check, for every run and every delay d in [1..maxDelaySteps], whether the
+/// timed schedule still works on `layout` when that single run departs d
+/// steps late. When `shiftArrivals` is set (default) the delayed run's
+/// arrival obligations shift by the same d (and the horizon grows
+/// accordingly); otherwise the original arrival deadlines must still be met.
+[[nodiscard]] RobustnessReport delayRobustness(const Instance& instance,
+                                               const VssLayout& layout, int maxDelaySteps,
+                                               bool shiftArrivals = true,
+                                               const TaskOptions& options = {});
+
+/// Generation with per-node installation costs: minimize the total cost of
+/// the virtual borders instead of their count. `costOf` is evaluated for
+/// every candidate border node and must return a positive cost.
+[[nodiscard]] GenerationResult generateLayoutWeighted(
+    const Instance& instance, const std::function<int(SegNodeId)>& costOf,
+    const TaskOptions& options = {});
+
+/// Per-run slack of a timed schedule on a fixed layout.
+struct SlackReport {
+    /// tightestArrivalStep[r]: smallest arrival step for run r's destination
+    /// at which the whole schedule (other runs unchanged) still works;
+    /// -1 when even the scheduled arrival fails.
+    std::vector<int> tightestArrivalStep;
+    /// slackSteps[r] = scheduled arrival - tightest arrival (>= 0), or -1.
+    std::vector<int> slackSteps;
+};
+
+/// How much each arrival deadline of a fully timed schedule could be
+/// tightened on the given layout, one run at a time (all other runs keep
+/// their scheduled times). A slack of 0 means the timetable pins that train
+/// to its fastest possible arrival.
+[[nodiscard]] SlackReport scheduleSlack(const Instance& instance, const VssLayout& layout,
+                                        const TaskOptions& options = {});
+
+/// Result of the per-train arrival optimization.
+struct IndividualArrivalResult {
+    bool feasible = false;
+    /// doneSteps[r]: earliest step at which run r has left the network,
+    /// after the arrivals of all higher-priority runs were fixed.
+    std::vector<int> doneSteps;
+    std::optional<Solution> solution;
+    TaskStats stats;
+};
+
+/// The paper's alternative objective (Sec. III-C): instead of minimizing the
+/// global completion time, minimize each train's own arrival,
+/// lexicographically in priority order (`priority` lists run indices; empty
+/// = schedule order). Trains earlier in the order get the best possible
+/// arrival; later trains optimize within what remains.
+[[nodiscard]] IndividualArrivalResult optimizeIndividualArrivals(
+    const Instance& instance, std::vector<std::size_t> priority = {},
+    const TaskOptions& options = {});
+
+}  // namespace etcs::core

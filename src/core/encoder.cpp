@@ -1,0 +1,550 @@
+#include "core/encoder.hpp"
+
+#include <algorithm>
+
+#include "cnf/formula.hpp"
+
+namespace etcs::core {
+
+namespace {
+
+/// Cache key for path unions: (e, f, maxLength) packed into 64 bits.
+std::uint64_t pathKey(SegmentId e, SegmentId f, int maxLength) {
+    return (static_cast<std::uint64_t>(e.get()) << 40) |
+           (static_cast<std::uint64_t>(f.get()) << 16) | static_cast<std::uint64_t>(maxLength);
+}
+
+}  // namespace
+
+Encoder::Encoder(SatBackend& backend, const Instance& instance, EncoderOptions options)
+    : backend_(&backend), instance_(&instance), options_(options) {}
+
+bool Encoder::inCone(std::size_t run, SegmentId segment, int step) const {
+    const DiscreteRun& r = instance_->runs()[run];
+    if (step < r.departureStep) {
+        return false;
+    }
+    if (!options_.pruneWithCones) {
+        return true;
+    }
+    const int slack = r.lengthSegments - 1;
+    const int fromOrigin = instance_->segmentDistance(r.originSegment, segment);
+    if (fromOrigin < 0 || fromOrigin > (step - r.departureStep) * r.speedSegments + slack) {
+        return false;
+    }
+    // Every pinned stop anchors a cone in both time directions.
+    for (const DiscreteStop& stop : r.stops) {
+        if (!stop.arrivalStep) {
+            continue;
+        }
+        const int a = *stop.arrivalStep;
+        const int d = instance_->segmentDistance(segment, stop.segment);
+        const int window = (step <= a ? a - step : step - a) * r.speedSegments + slack;
+        if (d < 0 || d > window) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void Encoder::createOccupiesVariables() {
+    const auto& graph = instance_->graph();
+    const int horizon = instance_->horizonSteps();
+    occ_.assign(instance_->numRuns(), {});
+    for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
+        occ_[run].assign(static_cast<std::size_t>(horizon),
+                         std::vector<Literal>(graph.numSegments()));
+        for (int t = 0; t < horizon; ++t) {
+            for (std::size_t s = 0; s < graph.numSegments(); ++s) {
+                if (inCone(run, SegmentId(s), t)) {
+                    occ_[run][static_cast<std::size_t>(t)][s] =
+                        Literal::positive(backend_->addVariable());
+                }
+            }
+        }
+    }
+}
+
+void Encoder::createDoneVariables() {
+    const int horizon = instance_->horizonSteps();
+    done_.assign(instance_->numRuns(), std::vector<Literal>(static_cast<std::size_t>(horizon)));
+    for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
+        const DiscreteRun& r = instance_->runs()[run];
+        // A run can be done at the earliest one step after its departure.
+        for (int t = r.departureStep + 1; t < horizon; ++t) {
+            done_[run][static_cast<std::size_t>(t)] = Literal::positive(backend_->addVariable());
+        }
+    }
+}
+
+void Encoder::createBorderVariables(const VssLayout* fixedLayout) {
+    const auto& graph = instance_->graph();
+    borderLiteral_.assign(graph.numNodes(), Literal{});
+    freeBorderLiterals_.clear();
+    freeBorderNodes_.clear();
+    if (fixedLayout != nullptr) {
+        return;  // borders are constants taken from the layout
+    }
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        if (graph.node(SegNodeId(n)).fixedBorder) {
+            continue;  // constant true
+        }
+        const Literal lit = Literal::positive(backend_->addVariable());
+        borderLiteral_[n] = lit;
+        freeBorderLiterals_.push_back(lit);
+        freeBorderNodes_.push_back(SegNodeId(n));
+    }
+}
+
+void Encoder::encode(const VssLayout* fixedLayout) {
+    ETCS_REQUIRE_MSG(!encoded_, "encode() may only be called once per Encoder");
+    encoded_ = true;
+    fixedLayout_ = fixedLayout;
+    doneAll_.assign(static_cast<std::size_t>(instance_->horizonSteps()), Literal{});
+
+    createOccupiesVariables();
+    createDoneVariables();
+    createBorderVariables(fixedLayout);
+
+    for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
+        encodeChainOccupancy(run);
+        encodeMovement(run);
+        encodeDoneMachinery(run);
+        encodeSchedulePins(run);
+    }
+    for (std::size_t r1 = 0; r1 < instance_->numRuns(); ++r1) {
+        for (std::size_t r2 = r1 + 1; r2 < instance_->numRuns(); ++r2) {
+            encodeVssSeparation(r1, r2, fixedLayout);
+        }
+    }
+    if (options_.encodePassThrough && instance_->numRuns() > 1) {
+        for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
+            encodePassThrough(run);
+        }
+    }
+}
+
+void Encoder::encodeChainOccupancy(std::size_t run) {
+    const DiscreteRun& r = instance_->runs()[run];
+    const int horizon = instance_->horizonSteps();
+    const auto& graph = instance_->graph();
+
+    auto& chains = chainsByLength_[r.lengthSegments];
+    if (chains.empty()) {
+        chains = graph.chains(r.lengthSegments);
+    }
+
+    for (int t = r.departureStep; t < horizon; ++t) {
+        const auto& occAtT = occ_[run][static_cast<std::size_t>(t)];
+        const Literal doneLit = done_[run][static_cast<std::size_t>(t)];
+
+        std::vector<Literal> options;  // chain selectors (or direct occupies)
+        if (r.lengthSegments == 1) {
+            // Chains are single segments; the occupies variables double as
+            // selectors and no auxiliary variables are needed.
+            for (std::size_t s = 0; s < occAtT.size(); ++s) {
+                if (occAtT[s].valid()) {
+                    options.push_back(occAtT[s]);
+                }
+            }
+        } else {
+            // One selector per admissible chain (all member segments in the
+            // cone). selector -> member occupies; occupies -> some selector.
+            std::vector<std::vector<Literal>> selectorsOfSegment(graph.numSegments());
+            for (const rail::Chain& chain : chains) {
+                const bool admissible =
+                    std::all_of(chain.begin(), chain.end(),
+                                [&](SegmentId s) { return occAtT[s.get()].valid(); });
+                if (!admissible) {
+                    continue;
+                }
+                const Literal selector = Literal::positive(backend_->addVariable());
+                options.push_back(selector);
+                for (SegmentId s : chain) {
+                    backend_->addClause({~selector, occAtT[s.get()]});
+                    selectorsOfSegment[s.get()].push_back(selector);
+                }
+            }
+            for (std::size_t s = 0; s < graph.numSegments(); ++s) {
+                if (!occAtT[s].valid()) {
+                    continue;
+                }
+                std::vector<Literal> clause{~occAtT[s]};
+                clause.insert(clause.end(), selectorsOfSegment[s].begin(),
+                              selectorsOfSegment[s].end());
+                backend_->addClause(clause);
+            }
+        }
+        if (doneLit.valid()) {
+            options.push_back(doneLit);
+        }
+        if (options.empty()) {
+            // The run has nowhere to be and cannot be done: infeasible.
+            backend_->addClause({});
+            continue;
+        }
+        // Exactly one option: the train occupies exactly one chain, or it has
+        // left the network (paper's C1 with explicit presence handling).
+        cnf::addExactlyOne(*backend_, options, options_.amoEncoding);
+    }
+}
+
+void Encoder::encodeMovement(std::size_t run) {
+    const DiscreteRun& r = instance_->runs()[run];
+    const int horizon = instance_->horizonSteps();
+    const auto& graph = instance_->graph();
+    const std::size_t numSegments = graph.numSegments();
+
+    for (int t = r.departureStep; t + 1 < horizon; ++t) {
+        const auto& occNow = occ_[run][static_cast<std::size_t>(t)];
+        const auto& occNext = occ_[run][static_cast<std::size_t>(t) + 1];
+        const Literal doneNext = done_[run][static_cast<std::size_t>(t) + 1];
+        for (std::size_t e = 0; e < numSegments; ++e) {
+            if (!occNow[e].valid()) {
+                continue;
+            }
+            std::vector<Literal> clause{~occNow[e]};
+            for (std::size_t f = 0; f < numSegments; ++f) {
+                if (!occNext[f].valid()) {
+                    continue;
+                }
+                const int d = instance_->segmentDistance(SegmentId(e), SegmentId(f));
+                if (d >= 0 && d <= r.speedSegments) {
+                    clause.push_back(occNext[f]);
+                }
+            }
+            if (doneNext.valid()) {
+                clause.push_back(doneNext);
+            }
+            backend_->addClause(clause);
+        }
+    }
+}
+
+void Encoder::encodeDoneMachinery(std::size_t run) {
+    const DiscreteRun& r = instance_->runs()[run];
+    const int horizon = instance_->horizonSteps();
+    const SegmentId dest = r.destination().segment;
+
+    for (int t = r.departureStep + 1; t < horizon; ++t) {
+        const Literal doneNow = done_[run][static_cast<std::size_t>(t)];
+        // done is monotone: done^t -> done^{t+1}.
+        if (t + 1 < horizon) {
+            backend_->addClause({~doneNow, done_[run][static_cast<std::size_t>(t) + 1]});
+        }
+        // A run is done only right after having reached its destination:
+        // done^t -> done^{t-1} | occupies[dest]^{t-1}  (with done^{dep} = false).
+        std::vector<Literal> clause{~doneNow};
+        const Literal donePrev = done_[run][static_cast<std::size_t>(t) - 1];
+        if (donePrev.valid()) {
+            clause.push_back(donePrev);
+        }
+        const Literal occDestPrev = occ_[run][static_cast<std::size_t>(t) - 1][dest.get()];
+        if (occDestPrev.valid()) {
+            clause.push_back(occDestPrev);
+        }
+        backend_->addClause(clause);
+    }
+}
+
+void Encoder::encodeSchedulePins(std::size_t run) {
+    const DiscreteRun& r = instance_->runs()[run];
+    const int horizon = instance_->horizonSteps();
+
+    // Input position: the train appears at its origin at departure.
+    const Literal origin =
+        occ_[run][static_cast<std::size_t>(r.departureStep)][r.originSegment.get()];
+    if (origin.valid()) {
+        backend_->addUnit(origin);
+    } else {
+        backend_->addClause({});  // origin unreachable: instance infeasible
+    }
+
+    for (const DiscreteStop& stop : r.stops) {
+        if (stop.arrivalStep) {
+            // Pinned stop: occupies[stop]^{arrival} = 1 (paper's schedule
+            // triples); a dwell extends the pin over consecutive steps.
+            for (int j = 0; j < stop.dwellSteps; ++j) {
+                const int step = *stop.arrivalStep + j;
+                const Literal lit =
+                    step < horizon
+                        ? occ_[run][static_cast<std::size_t>(step)][stop.segment.get()]
+                        : Literal{};
+                if (lit.valid()) {
+                    backend_->addUnit(lit);
+                } else {
+                    backend_->addClause({});  // unreachable / past the horizon
+                }
+            }
+        } else if (stop.dwellSteps <= 1) {
+            // Open stop: the run must visit it at some step (paper Sec. III-C,
+            // optimization task).
+            std::vector<Literal> clause;
+            for (int t = r.departureStep; t < horizon; ++t) {
+                const Literal lit = occ_[run][static_cast<std::size_t>(t)][stop.segment.get()];
+                if (lit.valid()) {
+                    clause.push_back(lit);
+                }
+            }
+            backend_->addClause(clause);
+        } else {
+            // Open stop with dwell: some window of dwellSteps consecutive
+            // steps must all occupy the stop. One selector per window start.
+            std::vector<Literal> selectors;
+            for (int t = r.departureStep; t + stop.dwellSteps <= horizon; ++t) {
+                bool windowAvailable = true;
+                for (int j = 0; j < stop.dwellSteps && windowAvailable; ++j) {
+                    windowAvailable =
+                        occ_[run][static_cast<std::size_t>(t + j)][stop.segment.get()]
+                            .valid();
+                }
+                if (!windowAvailable) {
+                    continue;
+                }
+                const Literal selector = Literal::positive(backend_->addVariable());
+                for (int j = 0; j < stop.dwellSteps; ++j) {
+                    backend_->addClause(
+                        {~selector,
+                         occ_[run][static_cast<std::size_t>(t + j)][stop.segment.get()]});
+                }
+                selectors.push_back(selector);
+            }
+            backend_->addClause(selectors);  // empty -> infeasible, as intended
+        }
+    }
+}
+
+void Encoder::encodeVssSeparation(std::size_t run1, std::size_t run2,
+                                  const VssLayout* fixedLayout) {
+    const auto& graph = instance_->graph();
+    const DiscreteRun& r1 = instance_->runs()[run1];
+    const DiscreteRun& r2 = instance_->runs()[run2];
+    const int firstStep = std::max(r1.departureStep, r2.departureStep);
+    const int horizon = instance_->horizonSteps();
+
+    for (std::size_t ttd = 0; ttd < instance_->network().numTtds(); ++ttd) {
+        const auto segments = graph.segmentsOfTtd(TtdId(ttd));
+        for (std::size_t i = 0; i < segments.size(); ++i) {
+            for (std::size_t j = i; j < segments.size(); ++j) {
+                const SegmentId e = segments[i];
+                const SegmentId f = segments[j];
+
+                // Border disjunction per connecting path (empty for e == f).
+                // satisfied == true: some border on every set -> no clause.
+                std::vector<std::vector<Literal>> borderDisjunctions;
+                bool alwaysSeparated = false;
+                if (e != f) {
+                    alwaysSeparated = true;
+                    for (const auto& nodeSet : graph.betweenNodeSets(e, f)) {
+                        bool pathSatisfied = false;
+                        std::vector<Literal> disjunction;
+                        for (SegNodeId v : nodeSet) {
+                            if (graph.node(v).fixedBorder) {
+                                pathSatisfied = true;
+                                break;
+                            }
+                            if (fixedLayout != nullptr) {
+                                if (fixedLayout->flags()[v.get()]) {
+                                    pathSatisfied = true;
+                                    break;
+                                }
+                            } else {
+                                disjunction.push_back(borderLiteral_[v.get()]);
+                            }
+                        }
+                        if (!pathSatisfied) {
+                            alwaysSeparated = false;
+                            borderDisjunctions.push_back(std::move(disjunction));
+                        }
+                    }
+                }
+                if (alwaysSeparated) {
+                    continue;
+                }
+
+                for (int t = firstStep; t < horizon; ++t) {
+                    const Literal occ1e = occ_[run1][static_cast<std::size_t>(t)][e.get()];
+                    const Literal occ2f = occ_[run2][static_cast<std::size_t>(t)][f.get()];
+                    const Literal occ1f = occ_[run1][static_cast<std::size_t>(t)][f.get()];
+                    const Literal occ2e = occ_[run2][static_cast<std::size_t>(t)][e.get()];
+                    if (e == f) {
+                        // Same segment, same TTD: plainly exclusive.
+                        if (occ1e.valid() && occ2f.valid()) {
+                            backend_->addClause({~occ1e, ~occ2f});
+                        }
+                        continue;
+                    }
+                    for (const auto& disjunction : borderDisjunctions) {
+                        if (occ1e.valid() && occ2f.valid()) {
+                            std::vector<Literal> clause{~occ1e, ~occ2f};
+                            clause.insert(clause.end(), disjunction.begin(), disjunction.end());
+                            backend_->addClause(clause);
+                        }
+                        if (occ1f.valid() && occ2e.valid()) {
+                            std::vector<Literal> clause{~occ1f, ~occ2e};
+                            clause.insert(clause.end(), disjunction.begin(), disjunction.end());
+                            backend_->addClause(clause);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+const std::vector<SegmentId>& Encoder::pathUnion(SegmentId e, SegmentId f, int maxLength) {
+    const std::uint64_t key = pathKey(e, f, maxLength);
+    const auto it = pathUnionCache_.find(key);
+    if (it != pathUnionCache_.end()) {
+        return it->second;
+    }
+    std::vector<char> member(instance_->graph().numSegments(), 0);
+    for (const rail::SegmentPath& path : instance_->graph().simplePaths(e, f, maxLength)) {
+        for (SegmentId s : path) {
+            member[s.get()] = 1;
+        }
+    }
+    std::vector<SegmentId> segments;
+    for (std::size_t s = 0; s < member.size(); ++s) {
+        if (member[s] != 0) {
+            segments.push_back(SegmentId(s));
+        }
+    }
+    return pathUnionCache_.emplace(key, std::move(segments)).first->second;
+}
+
+void Encoder::encodePassThrough(std::size_t mover) {
+    const DiscreteRun& r = instance_->runs()[mover];
+    const int horizon = instance_->horizonSteps();
+    const auto& graph = instance_->graph();
+    const std::size_t numSegments = graph.numSegments();
+
+    for (int t = r.departureStep; t + 1 < horizon; ++t) {
+        const auto& occNow = occ_[mover][static_cast<std::size_t>(t)];
+        const auto& occNext = occ_[mover][static_cast<std::size_t>(t) + 1];
+
+        // sweep[g]: this run's movement between t and t+1 covers segment g.
+        std::vector<Literal> sweep(numSegments);
+        for (std::size_t e = 0; e < numSegments; ++e) {
+            if (!occNow[e].valid()) {
+                continue;
+            }
+            for (std::size_t f = 0; f < numSegments; ++f) {
+                if (e == f || !occNext[f].valid()) {
+                    continue;
+                }
+                const int d = instance_->segmentDistance(SegmentId(e), SegmentId(f));
+                if (d < 1 || d > r.speedSegments) {
+                    continue;
+                }
+                // A move of distance d traverses d+1 segments including both
+                // endpoints, hence the +1 on the path-length bound.
+                for (SegmentId g : pathUnion(SegmentId(e), SegmentId(f), r.speedSegments + 1)) {
+                    if (!sweep[g.get()].valid()) {
+                        sweep[g.get()] = Literal::positive(backend_->addVariable());
+                    }
+                    // (occ[e]^t & occ[f]^{t+1}) -> sweep[g]
+                    backend_->addClause({~occNow[e], ~occNext[f], sweep[g.get()]});
+                }
+            }
+        }
+
+        // No other run may stand on a swept segment at t or t+1 (paper's C4).
+        for (std::size_t other = 0; other < instance_->numRuns(); ++other) {
+            if (other == mover) {
+                continue;
+            }
+            for (std::size_t g = 0; g < numSegments; ++g) {
+                if (!sweep[g].valid()) {
+                    continue;
+                }
+                const Literal otherNow = occ_[other][static_cast<std::size_t>(t)][g];
+                const Literal otherNext = occ_[other][static_cast<std::size_t>(t) + 1][g];
+                if (otherNow.valid()) {
+                    backend_->addClause({~sweep[g], ~otherNow});
+                }
+                if (otherNext.valid()) {
+                    backend_->addClause({~sweep[g], ~otherNext});
+                }
+            }
+        }
+    }
+}
+
+Literal Encoder::doneAllLiteral(int step) {
+    ETCS_REQUIRE_MSG(encoded_, "encode() must run before doneAllLiteral()");
+    ETCS_REQUIRE_MSG(step >= 0 && step < instance_->horizonSteps(), "step out of range");
+    Literal& cached = doneAll_[static_cast<std::size_t>(step)];
+    if (cached.valid()) {
+        return cached;
+    }
+    const Literal lit = Literal::positive(backend_->addVariable());
+    for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
+        const Literal doneLit = done_[run][static_cast<std::size_t>(step)];
+        if (doneLit.valid()) {
+            backend_->addClause({~lit, doneLit});
+        } else {
+            // This run cannot be done at `step`; the selector is unusable.
+            backend_->addUnit(~lit);
+            break;
+        }
+    }
+    cached = lit;
+    return lit;
+}
+
+int Encoder::completionLowerBound() const {
+    int bound = 1;
+    for (const DiscreteRun& r : instance_->runs()) {
+        const int travel = instance_->segmentDistance(r.originSegment, r.destination().segment);
+        const int steps = (travel + r.speedSegments - 1) / r.speedSegments;
+        bound = std::max(bound, r.departureStep + steps + 1);
+    }
+    return bound;
+}
+
+Solution Encoder::decode() const {
+    ETCS_REQUIRE_MSG(encoded_, "encode() must run before decode()");
+    const auto& graph = instance_->graph();
+    const int horizon = instance_->horizonSteps();
+
+    Solution solution{VssLayout(graph), {}, 0, 0};
+    if (fixedLayout_ != nullptr) {
+        solution.layout = *fixedLayout_;
+    } else {
+        for (std::size_t i = 0; i < freeBorderNodes_.size(); ++i) {
+            solution.layout.setBorder(freeBorderNodes_[i],
+                                      backend_->modelValue(freeBorderLiterals_[i]));
+        }
+    }
+    solution.sectionCount = solution.layout.sectionCount(graph);
+
+    solution.traces.resize(instance_->numRuns());
+    int lastActivity = -1;
+    for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
+        RunTrace& trace = solution.traces[run];
+        trace.occupied.assign(static_cast<std::size_t>(horizon), {});
+        const SegmentId dest = instance_->runs()[run].destination().segment;
+        for (int t = 0; t < horizon; ++t) {
+            for (std::size_t s = 0; s < graph.numSegments(); ++s) {
+                const Literal lit = occ_[run][static_cast<std::size_t>(t)][s];
+                if (lit.valid() && backend_->modelValue(lit)) {
+                    trace.occupied[static_cast<std::size_t>(t)].push_back(SegmentId(s));
+                }
+            }
+            if (!trace.occupied[static_cast<std::size_t>(t)].empty()) {
+                trace.lastPresentStep = t;
+                lastActivity = std::max(lastActivity, t);
+                const auto& segs = trace.occupied[static_cast<std::size_t>(t)];
+                if (trace.firstArrivalStep < 0 &&
+                    std::find(segs.begin(), segs.end(), dest) != segs.end()) {
+                    trace.firstArrivalStep = t;
+                }
+            }
+        }
+    }
+    solution.completionSteps = lastActivity + 1;
+    return solution;
+}
+
+}  // namespace etcs::core

@@ -1,0 +1,135 @@
+/// \file encoder.hpp
+/// SAT encoding of ETCS Level 3 design tasks (paper Sec. III).
+///
+/// Variables:
+///  * occupies[r][e][t] — run r occupies segment e at step t. Created only
+///    inside the run's reachability cone (forward from the origin, and
+///    backward from the destination when the arrival is pinned); everything
+///    outside the cone is constant false.
+///  * border[v]         — candidate node v is a VSS border (free-layout
+///    mode only; in fixed-layout mode borders are compile-time constants).
+///  * done[r][t]        — run r has left the network by step t (monotone).
+///  * chain selectors   — one auxiliary per admissible chain per step for
+///    trains longer than one segment (the Tseitin refinement of the paper's
+///    chain disjunction, see DESIGN.md §3).
+///  * sweep[r][g][t]    — run r's movement between t and t+1 sweeps over
+///    segment g (aggregation variable for the no-pass-through constraint).
+///
+/// Constraint families (paper Sec. III-B):
+///  C1 chain occupancy, C2 movement, C3 VSS separation, C4 no pass-through,
+/// plus the schedule pinning of Sec. III-C.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cnf/amo.hpp"
+#include "cnf/backend.hpp"
+#include "core/instance.hpp"
+#include "core/layout.hpp"
+
+namespace etcs::core {
+
+using cnf::Literal;
+using cnf::SatBackend;
+
+struct EncoderOptions {
+    cnf::AmoEncoding amoEncoding = cnf::AmoEncoding::Sequential;
+    bool pruneWithCones = true;       ///< restrict occupies vars to reachability cones
+    bool encodePassThrough = true;    ///< emit C4 (ablation toggle; unsafe to disable
+                                      ///< except for measurements)
+};
+
+/// Per-run decoded movement data.
+struct RunTrace {
+    std::vector<std::vector<SegmentId>> occupied;  ///< [t] -> segments (may be empty)
+    int firstArrivalStep = -1;  ///< first step occupying the destination (-1: never)
+    int lastPresentStep = -1;   ///< last step with any occupancy (-1: never present)
+};
+
+/// A decoded satisfying assignment.
+struct Solution {
+    VssLayout layout;
+    std::vector<RunTrace> traces;  ///< one per run
+    int completionSteps = 0;       ///< steps until all trains have left / horizon
+    int sectionCount = 0;          ///< TTD/VSS sections of `layout`
+};
+
+class Encoder {
+public:
+    Encoder(SatBackend& backend, const Instance& instance, EncoderOptions options = {});
+
+    /// Emit all constraints. Pass a layout to pin every border (verification
+    /// task); pass nullptr to leave borders free (generation/optimization).
+    void encode(const VssLayout* fixedLayout);
+
+    /// Free border literals (free-layout mode), for the minimization
+    /// objective min sum(border_v).
+    [[nodiscard]] std::span<const Literal> freeBorderLiterals() const noexcept {
+        return freeBorderLiterals_;
+    }
+
+    /// Literal forcing "every run is done at `step`" (paper's done^t_i as an
+    /// implication-defined selector); usable as a solver assumption.
+    [[nodiscard]] Literal doneAllLiteral(int step);
+
+    /// Earliest step at which all runs could possibly be done (lower bound
+    /// for the completion-time search).
+    [[nodiscard]] int completionLowerBound() const;
+
+    /// Decode the backend's current model into a Solution.
+    [[nodiscard]] Solution decode() const;
+
+    /// Occupies literal for (run, segment, step); invalid when constant false.
+    [[nodiscard]] Literal occupiesLiteral(std::size_t run, SegmentId segment, int step) const {
+        return occ_[run][static_cast<std::size_t>(step)][segment.get()];
+    }
+
+    /// Done literal for (run, step); invalid literal encodes constant false.
+    [[nodiscard]] Literal doneLiteral(std::size_t run, int step) const {
+        return done_[run][static_cast<std::size_t>(step)];
+    }
+
+private:
+    void createOccupiesVariables();
+    void createDoneVariables();
+    void createBorderVariables(const VssLayout* fixedLayout);
+    void encodeChainOccupancy(std::size_t run);
+    void encodeMovement(std::size_t run);
+    void encodeDoneMachinery(std::size_t run);
+    void encodeSchedulePins(std::size_t run);
+    void encodeVssSeparation(std::size_t run1, std::size_t run2, const VssLayout* fixedLayout);
+    void encodePassThrough(std::size_t mover);
+
+    [[nodiscard]] bool inCone(std::size_t run, SegmentId segment, int step) const;
+    /// Union of segments on all node-simple paths from e to f of at most
+    /// maxLength segments (memoized; endpoints included).
+    [[nodiscard]] const std::vector<SegmentId>& pathUnion(SegmentId e, SegmentId f,
+                                                          int maxLength);
+
+    SatBackend* backend_;
+    const Instance* instance_;
+    EncoderOptions options_;
+    bool encoded_ = false;
+
+    // occ_[run][t][segment]: literal or invalid (constant false).
+    std::vector<std::vector<std::vector<Literal>>> occ_;
+    // done_[run][t]: literal or invalid (constant false before/at departure).
+    std::vector<std::vector<Literal>> done_;
+    // borderLiteral_[node]: literal in free mode; invalid when fixed/pinned.
+    std::vector<Literal> borderLiteral_;
+    std::vector<Literal> freeBorderLiterals_;
+    std::vector<SegNodeId> freeBorderNodes_;
+    const VssLayout* fixedLayout_ = nullptr;
+    std::vector<Literal> doneAll_;  // lazily created per step
+
+    // chains per train length, computed once per distinct length
+    std::unordered_map<int, std::vector<rail::Chain>> chainsByLength_;
+    // memoized path unions keyed by (e, f, maxLength)
+    std::unordered_map<std::uint64_t, std::vector<SegmentId>> pathUnionCache_;
+    // sweep_[pair-run][t][segment] created lazily inside encodePassThrough
+};
+
+}  // namespace etcs::core

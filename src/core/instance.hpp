@@ -1,0 +1,83 @@
+/// \file instance.hpp
+/// A discretized problem instance: network, trains and schedule brought to
+/// the common (r_s, r_t) grid of paper Sec. III-A.
+///
+/// The instance owns the segment graph and the per-run discrete data every
+/// downstream component (encoder, simulator glue, validator) works with.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "railway/network.hpp"
+#include "railway/schedule.hpp"
+#include "railway/segment_graph.hpp"
+#include "railway/train.hpp"
+
+namespace etcs::core {
+
+using rail::Network;
+using rail::Schedule;
+using rail::SegmentGraph;
+using rail::TrainRun;
+using rail::TrainSet;
+
+/// A stop brought onto the discrete grid.
+struct DiscreteStop {
+    StationId station;
+    SegmentId segment;          ///< segment containing the station point
+    std::optional<int> arrivalStep;  ///< pinned arrival step, if timed
+    int dwellSteps = 1;         ///< consecutive steps the stop must be held
+};
+
+/// One train's run on the discrete grid.
+struct DiscreteRun {
+    TrainId train;
+    SegmentId originSegment;
+    int departureStep = 0;
+    std::vector<DiscreteStop> stops;  ///< back() is the destination
+    int lengthSegments = 1;           ///< l*_tr = ceil(l_tr / r_s)
+    int speedSegments = 1;            ///< floor(s_tr * r_t / r_s)
+
+    [[nodiscard]] const DiscreteStop& destination() const { return stops.back(); }
+};
+
+/// The discretized scenario. Immutable after construction.
+class Instance {
+public:
+    /// Discretize. Throws InputError when a train cannot move at this
+    /// resolution (speed rounds down to zero segments per step) or when a
+    /// run's timing is inconsistent (arrival before departure).
+    Instance(const Network& network, const TrainSet& trains, const Schedule& schedule,
+             Resolution resolution);
+
+    [[nodiscard]] const Network& network() const noexcept { return *network_; }
+    [[nodiscard]] const TrainSet& trains() const noexcept { return *trains_; }
+    [[nodiscard]] const Schedule& schedule() const noexcept { return *schedule_; }
+    [[nodiscard]] const SegmentGraph& graph() const noexcept { return *graph_; }
+    [[nodiscard]] Resolution resolution() const noexcept { return resolution_; }
+
+    /// Number of time steps t_0 .. t_{H-1} under consideration.
+    [[nodiscard]] int horizonSteps() const noexcept { return horizonSteps_; }
+
+    [[nodiscard]] std::span<const DiscreteRun> runs() const noexcept { return runs_; }
+    [[nodiscard]] std::size_t numRuns() const noexcept { return runs_.size(); }
+
+    /// Hop distance between segments, cached (used by the encoder's cones).
+    [[nodiscard]] int segmentDistance(SegmentId a, SegmentId b) const;
+
+private:
+    const Network* network_;
+    const TrainSet* trains_;
+    const Schedule* schedule_;
+    std::unique_ptr<SegmentGraph> graph_;
+    Resolution resolution_;
+    int horizonSteps_ = 0;
+    std::vector<DiscreteRun> runs_;
+    // all-pairs segment distances (numSegments^2, computed once)
+    std::vector<int> distance_;
+};
+
+}  // namespace etcs::core

@@ -1,0 +1,64 @@
+/// \file layout.hpp
+/// A VSS layout: the assignment of the paper's border_v variables.
+#pragma once
+
+#include <vector>
+
+#include "railway/segment_graph.hpp"
+#include "util/error.hpp"
+#include "util/ids.hpp"
+
+namespace etcs::core {
+
+using rail::SegmentGraph;
+
+/// A VSS layout over a segment graph. Fixed borders (TTD boundaries,
+/// switches, endpoints) are always borders; this class tracks the additional
+/// virtual borders chosen at the remaining candidate nodes.
+class VssLayout {
+public:
+    /// The pure-TTD layout: no virtual borders.
+    explicit VssLayout(const SegmentGraph& graph)
+        : border_(graph.numNodes(), false) {}
+
+    /// The finest layout: every candidate node is a border (the paper's
+    /// "trivial way": each segment its own VSS).
+    [[nodiscard]] static VssLayout finest(const SegmentGraph& graph) {
+        VssLayout layout(graph);
+        for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+            layout.border_[n] = true;
+        }
+        return layout;
+    }
+
+    void setBorder(SegNodeId node, bool border) { border_.at(node.get()) = border; }
+
+    /// True when the node separates two VSS (fixed borders included).
+    [[nodiscard]] bool isBorder(const SegmentGraph& graph, SegNodeId node) const {
+        return graph.node(node).fixedBorder || border_.at(node.get());
+    }
+
+    /// Raw virtual-border flags, indexed by SegNodeId.
+    [[nodiscard]] const std::vector<bool>& flags() const noexcept { return border_; }
+
+    /// Number of virtual borders placed at candidate (non-fixed) nodes.
+    [[nodiscard]] int virtualBorderCount(const SegmentGraph& graph) const {
+        int count = 0;
+        for (std::size_t n = 0; n < border_.size(); ++n) {
+            if (border_[n] && !graph.node(SegNodeId(n)).fixedBorder) {
+                ++count;
+            }
+        }
+        return count;
+    }
+
+    /// Total number of TTD/VSS sections (the Table I "TTD/VSS" column).
+    [[nodiscard]] int sectionCount(const SegmentGraph& graph) const {
+        return graph.countSections(border_);
+    }
+
+private:
+    std::vector<bool> border_;
+};
+
+}  // namespace etcs::core

@@ -1,0 +1,144 @@
+#include "core/tasks.hpp"
+
+#include <chrono>
+
+namespace etcs::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::unique_ptr<cnf::SatBackend> makeBackend(const TaskOptions& options) {
+    if (options.backendFactory) {
+        return options.backendFactory();
+    }
+    return cnf::makeInternalBackend();
+}
+
+double secondsSince(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+VerificationResult verifySchedule(const Instance& instance, const VssLayout& layout,
+                                  const TaskOptions& options) {
+    ETCS_REQUIRE_MSG(instance.schedule().fullyTimed(),
+                     "verification requires a fully timed schedule");
+    const auto start = Clock::now();
+    VerificationResult result;
+
+    const auto backend = makeBackend(options);
+    Encoder encoder(*backend, instance, options.encoder);
+    encoder.encode(&layout);
+
+    ++result.stats.solveCalls;
+    result.feasible = backend->solve() == cnf::SolveStatus::Sat;
+    if (result.feasible) {
+        result.solution = encoder.decode();
+    }
+    result.stats.numVariables = backend->numVariables();
+    result.stats.numClauses = backend->numClauses();
+    result.stats.runtimeSeconds = secondsSince(start);
+    return result;
+}
+
+GenerationResult generateLayout(const Instance& instance, const TaskOptions& options) {
+    ETCS_REQUIRE_MSG(instance.schedule().fullyTimed(),
+                     "layout generation requires a fully timed schedule");
+    const auto start = Clock::now();
+    GenerationResult result;
+
+    const auto backend = makeBackend(options);
+    Encoder encoder(*backend, instance, options.encoder);
+    encoder.encode(nullptr);
+
+    if (options.minimizeSections) {
+        const auto minimized = opt::minimizeTrueLiterals(
+            *backend, encoder.freeBorderLiterals(), options.borderSearch);
+        result.stats.solveCalls = minimized.solveCalls;
+        result.feasible = minimized.feasible;
+    } else {
+        ++result.stats.solveCalls;
+        result.feasible = backend->solve() == cnf::SolveStatus::Sat;
+    }
+    if (result.feasible) {
+        result.solution = encoder.decode();
+        result.sectionCount = result.solution->sectionCount;
+    }
+    result.stats.numVariables = backend->numVariables();
+    result.stats.numClauses = backend->numClauses();
+    result.stats.runtimeSeconds = secondsSince(start);
+    return result;
+}
+
+namespace {
+
+OptimizationResult optimizeImpl(const Instance& instance, const VssLayout* fixedLayout,
+                                const TaskOptions& options);
+
+}  // namespace
+
+OptimizationResult optimizeSchedule(const Instance& instance, const TaskOptions& options) {
+    return optimizeImpl(instance, nullptr, options);
+}
+
+OptimizationResult optimizeScheduleOnLayout(const Instance& instance, const VssLayout& layout,
+                                            const TaskOptions& options) {
+    return optimizeImpl(instance, &layout, options);
+}
+
+namespace {
+
+OptimizationResult optimizeImpl(const Instance& instance, const VssLayout* fixedLayout,
+                                const TaskOptions& options) {
+    const auto start = Clock::now();
+    OptimizationResult result;
+
+    const auto backend = makeBackend(options);
+    Encoder encoder(*backend, instance, options.encoder);
+    encoder.encode(fixedLayout);
+
+    // Primary objective: minimize the number of time steps until all trains
+    // have left (paper's min sum !done^t). done^t is monotone, so the optimum
+    // is the smallest step at which the done-all selector can hold.
+    const int lo = encoder.completionLowerBound();
+    const int hi = instance.horizonSteps() - 1;
+    if (lo > hi) {
+        result.stats.runtimeSeconds = secondsSince(start);
+        return result;  // horizon shorter than any possible completion
+    }
+    const auto search = opt::smallestFeasibleIndex(
+        *backend, [&](int step) { return encoder.doneAllLiteral(step); }, lo, hi,
+        options.timeSearch);
+    result.stats.solveCalls = search.solveCalls;
+    if (!search.feasible) {
+        result.stats.numVariables = backend->numVariables();
+        result.stats.numClauses = backend->numClauses();
+        result.stats.runtimeSeconds = secondsSince(start);
+        return result;
+    }
+    result.feasible = true;
+    result.completionSteps = search.index;
+
+    if (options.lexicographicSections && fixedLayout == nullptr) {
+        // Freeze the optimal completion time, then minimize virtual borders.
+        backend->addUnit(encoder.doneAllLiteral(search.index));
+        const auto minimized = opt::minimizeTrueLiterals(
+            *backend, encoder.freeBorderLiterals(), options.borderSearch);
+        result.stats.solveCalls += minimized.solveCalls;
+        ETCS_REQUIRE_MSG(minimized.feasible,
+                         "border minimization must stay feasible at the optimal time");
+    }
+
+    result.solution = encoder.decode();
+    result.sectionCount = result.solution->sectionCount;
+    result.stats.numVariables = backend->numVariables();
+    result.stats.numClauses = backend->numClauses();
+    result.stats.runtimeSeconds = secondsSince(start);
+    return result;
+}
+
+}  // namespace
+
+}  // namespace etcs::core

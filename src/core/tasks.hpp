@@ -1,0 +1,88 @@
+/// \file tasks.hpp
+/// The three design/verification tasks of paper Sec. II-B as a library API:
+///   1. verifySchedule   — does a timed schedule work on a given TTD/VSS layout?
+///   2. generateLayout   — find a VSS layout realizing a timed schedule, with
+///                         as few sections as possible (min sum border_v).
+///   3. optimizeSchedule — find layout + schedule minimizing completion time
+///                         (min sum !done^t), optionally followed by a
+///                         lexicographic section minimization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/encoder.hpp"
+#include "core/instance.hpp"
+#include "core/layout.hpp"
+#include "opt/minimize.hpp"
+
+namespace etcs::core {
+
+struct TaskOptions {
+    EncoderOptions encoder;
+    opt::SearchStrategy borderSearch = opt::SearchStrategy::LinearDown;
+    opt::SearchStrategy timeSearch = opt::SearchStrategy::Binary;
+    /// Generation: minimize the number of virtual borders (paper's
+    /// min sum border_v). When false, any feasible layout is returned.
+    bool minimizeSections = true;
+    /// Optimization: after minimizing completion time, also minimize the
+    /// number of virtual borders at the optimal completion time.
+    bool lexicographicSections = true;
+    /// SAT backend factory; defaults to the built-in CDCL solver.
+    std::function<std::unique_ptr<cnf::SatBackend>()> backendFactory;
+};
+
+/// Effort/size measurements common to all tasks (Table I columns).
+struct TaskStats {
+    int numVariables = 0;
+    std::size_t numClauses = 0;
+    std::uint64_t solveCalls = 0;
+    double runtimeSeconds = 0.0;
+};
+
+struct VerificationResult {
+    bool feasible = false;               ///< SAT: the schedule works on the layout
+    std::optional<Solution> solution;    ///< a witness execution when feasible
+    TaskStats stats;
+};
+
+struct GenerationResult {
+    bool feasible = false;               ///< SAT: some VSS layout realizes the schedule
+    std::optional<Solution> solution;    ///< layout + witness execution
+    int sectionCount = 0;                ///< TTD/VSS sections of the layout
+    TaskStats stats;
+};
+
+struct OptimizationResult {
+    bool feasible = false;               ///< schedule completable within the horizon
+    std::optional<Solution> solution;
+    int sectionCount = 0;
+    int completionSteps = 0;             ///< minimized number of time steps
+    TaskStats stats;
+};
+
+/// Task 1: verify a fully timed schedule against a fixed TTD/VSS layout.
+[[nodiscard]] VerificationResult verifySchedule(const Instance& instance,
+                                                const VssLayout& layout,
+                                                const TaskOptions& options = {});
+
+/// Task 2: generate a VSS layout on which the fully timed schedule works.
+[[nodiscard]] GenerationResult generateLayout(const Instance& instance,
+                                              const TaskOptions& options = {});
+
+/// Task 3: choose layout and train movements minimizing completion time.
+/// The instance's schedule may leave arrival times open; its horizon bounds
+/// the search.
+[[nodiscard]] OptimizationResult optimizeSchedule(const Instance& instance,
+                                                  const TaskOptions& options = {});
+
+/// Variant of task 3 on a fixed layout: the best schedule achievable on the
+/// existing TTD/VSS sections. Comparing its completion time against the
+/// free-layout optimum quantifies what the virtual subsections buy.
+[[nodiscard]] OptimizationResult optimizeScheduleOnLayout(const Instance& instance,
+                                                          const VssLayout& layout,
+                                                          const TaskOptions& options = {});
+
+}  // namespace etcs::core

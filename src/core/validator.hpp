@@ -1,0 +1,35 @@
+/// \file validator.hpp
+/// Independent solution checking.
+///
+/// The validator re-derives every rule of the paper directly from the
+/// decoded Solution — without consulting the SAT encoding — and reports all
+/// violations.  Tests use it as an oracle: any model the encoder/solver
+/// produces must validate cleanly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/instance.hpp"
+
+namespace etcs::core {
+
+/// Check a decoded solution against the instance's rules. Returns
+/// human-readable violation descriptions; empty means the solution is valid.
+///
+/// Checked rules:
+///  * presence: nothing before departure, appears at its origin on
+///    departure, presence is one contiguous window, pinned stops are met,
+///    open stops are visited;
+///  * chain shape: each present step occupies exactly l* segments forming a
+///    node-simple chain;
+///  * movement: every occupied segment reaches an occupied segment of the
+///    next present step within the train's speed;
+///  * VSS exclusivity: no two trains in one section of the solution layout;
+///  * no pass-through: a train's swept corridor between consecutive steps is
+///    free of every other train at both steps.
+[[nodiscard]] std::vector<std::string> validateSolution(const Instance& instance,
+                                                        const Solution& solution);
+
+}  // namespace etcs::core

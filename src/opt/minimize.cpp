@@ -1,0 +1,232 @@
+#include "opt/minimize.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cnf/cardinality.hpp"
+#include "util/error.hpp"
+
+namespace etcs::opt {
+
+using cnf::SolveStatus;
+using cnf::Totalizer;
+
+namespace {
+
+int weightedCount(const SatBackend& backend, std::span<const Literal> lits,
+                  std::span<const int> weights) {
+    int count = 0;
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+        if (backend.modelValue(lits[i])) {
+            count += weights.empty() ? 1 : weights[i];
+        }
+    }
+    return count;
+}
+
+/// Shared search core: minimize the weighted count of true soft literals.
+/// `weights` may be empty (all ones).
+MinimizeResult minimizeImpl(SatBackend& backend, std::span<const Literal> soft,
+                            std::span<const int> weights, SearchStrategy strategy,
+                            const std::function<void(int)>& onImproved,
+                            std::span<const Literal> alwaysAssume) {
+    MinimizeResult result;
+    std::vector<Literal> assumptions(alwaysAssume.begin(), alwaysAssume.end());
+
+    if (soft.empty()) {
+        ++result.solveCalls;
+        result.feasible = backend.solve(assumptions) == SolveStatus::Sat;
+        return result;
+    }
+
+    // First solve establishes feasibility and the initial incumbent.
+    ++result.solveCalls;
+    if (backend.solve(assumptions) != SolveStatus::Sat) {
+        return result;
+    }
+    result.feasible = true;
+    int incumbent = weightedCount(backend, soft, weights);
+    if (onImproved) {
+        onImproved(incumbent);
+    }
+    if (incumbent == 0) {
+        result.optimum = 0;
+        return result;
+    }
+
+    // Weighted literals enter the totalizer once per weight unit.
+    std::vector<Literal> totalizerInputs;
+    if (weights.empty()) {
+        totalizerInputs.assign(soft.begin(), soft.end());
+    } else {
+        for (std::size_t i = 0; i < soft.size(); ++i) {
+            for (int w = 0; w < weights[i]; ++w) {
+                totalizerInputs.push_back(soft[i]);
+            }
+        }
+    }
+    const Totalizer totalizer(backend, totalizerInputs);
+    const int maxTotal = static_cast<int>(totalizerInputs.size());
+
+    auto solveAtMost = [&](int k) {
+        ++result.solveCalls;
+        assumptions.resize(alwaysAssume.size());
+        assumptions.push_back(totalizer.atMostAssumption(static_cast<std::size_t>(k)));
+        return backend.solve(assumptions) == SolveStatus::Sat;
+    };
+
+    switch (strategy) {
+        case SearchStrategy::LinearDown: {
+            while (incumbent > 0 && solveAtMost(incumbent - 1)) {
+                incumbent = weightedCount(backend, soft, weights);
+                if (onImproved) {
+                    onImproved(incumbent);
+                }
+            }
+            break;
+        }
+        case SearchStrategy::LinearUp: {
+            int bound = 0;
+            while (bound < incumbent && !solveAtMost(bound)) {
+                ++bound;
+            }
+            incumbent = (bound < incumbent) ? weightedCount(backend, soft, weights) : incumbent;
+            if (onImproved) {
+                onImproved(incumbent);
+            }
+            break;
+        }
+        case SearchStrategy::Binary: {
+            int lo = 0;
+            int hi = incumbent;  // hi is always feasible
+            while (lo < hi) {
+                const int mid = lo + (hi - lo) / 2;
+                if (solveAtMost(mid)) {
+                    hi = weightedCount(backend, soft, weights);
+                    if (onImproved) {
+                        onImproved(hi);
+                    }
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            incumbent = lo;
+            break;
+        }
+    }
+    result.optimum = incumbent;
+
+    // Leave the backend's model at an optimal assignment. (The last solve of
+    // the search may have been UNSAT, which clobbers no model, but be
+    // explicit so callers can always decode right after return.)
+    bool ok = false;
+    if (incumbent < maxTotal) {
+        ok = solveAtMost(incumbent);
+    } else {
+        ++result.solveCalls;
+        assumptions.resize(alwaysAssume.size());
+        ok = backend.solve(assumptions) == SolveStatus::Sat;
+    }
+    ETCS_REQUIRE_MSG(ok, "optimal bound must be satisfiable");
+    return result;
+}
+
+}  // namespace
+
+std::string_view toString(SearchStrategy strategy) {
+    switch (strategy) {
+        case SearchStrategy::LinearDown: return "linear-down";
+        case SearchStrategy::LinearUp: return "linear-up";
+        case SearchStrategy::Binary: return "binary";
+    }
+    return "unknown";
+}
+
+MinimizeResult minimizeTrueLiterals(SatBackend& backend, std::span<const Literal> soft,
+                                    SearchStrategy strategy,
+                                    const std::function<void(int)>& onImproved,
+                                    std::span<const Literal> alwaysAssume) {
+    return minimizeImpl(backend, soft, {}, strategy, onImproved, alwaysAssume);
+}
+
+MinimizeResult minimizeWeightedTrueLiterals(SatBackend& backend,
+                                            std::span<const Literal> soft,
+                                            std::span<const int> weights,
+                                            SearchStrategy strategy,
+                                            std::span<const Literal> alwaysAssume) {
+    ETCS_REQUIRE_MSG(weights.size() == soft.size(),
+                     "one weight per soft literal required");
+    ETCS_REQUIRE_MSG(std::all_of(weights.begin(), weights.end(), [](int w) { return w > 0; }),
+                     "weights must be positive");
+    return minimizeImpl(backend, soft, weights, strategy, {}, alwaysAssume);
+}
+
+IndexSearchResult smallestFeasibleIndex(SatBackend& backend,
+                                        const std::function<Literal(int)>& literalAt, int lo,
+                                        int hi, SearchStrategy strategy,
+                                        std::span<const Literal> alwaysAssume) {
+    ETCS_REQUIRE_MSG(lo <= hi, "empty search range");
+    IndexSearchResult result;
+    std::vector<Literal> assumptions(alwaysAssume.begin(), alwaysAssume.end());
+    auto feasible = [&](int t) {
+        ++result.solveCalls;
+        assumptions.resize(alwaysAssume.size());
+        assumptions.push_back(literalAt(t));
+        return backend.solve(assumptions) == SolveStatus::Sat;
+    };
+
+    switch (strategy) {
+        case SearchStrategy::Binary: {
+            // Establish feasibility at hi first (monotone upper end).
+            if (!feasible(hi)) {
+                return result;
+            }
+            int feasibleHi = hi;
+            int infeasibleLo = lo - 1;
+            while (infeasibleLo + 1 < feasibleHi) {
+                const int mid = infeasibleLo + (feasibleHi - infeasibleLo) / 2;
+                if (feasible(mid)) {
+                    feasibleHi = mid;
+                } else {
+                    infeasibleLo = mid;
+                }
+            }
+            result.feasible = true;
+            result.index = feasibleHi;
+            break;
+        }
+        case SearchStrategy::LinearUp: {
+            for (int t = lo; t <= hi; ++t) {
+                if (feasible(t)) {
+                    result.feasible = true;
+                    result.index = t;
+                    break;
+                }
+            }
+            break;
+        }
+        case SearchStrategy::LinearDown: {
+            if (!feasible(hi)) {
+                return result;
+            }
+            int best = hi;
+            for (int t = hi - 1; t >= lo; --t) {
+                if (!feasible(t)) {
+                    break;
+                }
+                best = t;
+            }
+            result.feasible = true;
+            result.index = best;
+            break;
+        }
+    }
+    if (result.feasible) {
+        // Re-solve at the optimum so the backend's model matches it.
+        const bool ok = feasible(result.index);
+        ETCS_REQUIRE_MSG(ok, "optimal index must remain satisfiable");
+    }
+    return result;
+}
+
+}  // namespace etcs::opt

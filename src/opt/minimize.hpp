@@ -1,0 +1,80 @@
+/// \file minimize.hpp
+/// Objective minimization on top of incremental SAT.
+///
+/// Two primitives cover both objective functions of the paper (Sec. III-C):
+///   * minimizeTrueLiterals  — min sum of Boolean "soft" literals
+///                             (used for  min Σ border_v),
+///   * smallestFeasibleIndex — min index t such that a monotone family of
+///                             literals can hold (used for completion-time
+///                             minimization via the monotone done^t chain).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cnf/backend.hpp"
+
+namespace etcs::opt {
+
+using cnf::Literal;
+using cnf::SatBackend;
+
+enum class SearchStrategy {
+    LinearDown,  ///< SAT -> tighten bound below the incumbent until UNSAT.
+    LinearUp,    ///< UNSAT -> relax bound upward until SAT.
+    Binary,      ///< bisection between 0 and the incumbent.
+};
+
+[[nodiscard]] std::string_view toString(SearchStrategy strategy);
+
+/// Outcome of a minimization run. When feasible, the backend's model is left
+/// at an optimal assignment (callers decode directly from the backend).
+struct MinimizeResult {
+    bool feasible = false;       ///< false: hard constraints are unsatisfiable.
+    int optimum = 0;             ///< minimum number of true soft literals.
+    std::uint64_t solveCalls = 0;
+};
+
+/// Minimize the number of true literals among `soft` subject to the clauses
+/// already in `backend`.  Builds one totalizer over `soft` and then tightens
+/// the bound with assumption literals only, so the backend stays reusable.
+/// `onImproved` (optional) is invoked with every improved incumbent.
+/// `alwaysAssume` (optional) literals are assumed on every solve, which lets
+/// callers scope the minimization (e.g. "given completion by step T").
+MinimizeResult minimizeTrueLiterals(SatBackend& backend, std::span<const Literal> soft,
+                                    SearchStrategy strategy = SearchStrategy::LinearDown,
+                                    const std::function<void(int)>& onImproved = {},
+                                    std::span<const Literal> alwaysAssume = {});
+
+/// Weighted variant: minimize sum(weight_i * soft_i). Weights must be
+/// positive; a literal of weight w contributes w duplicated totalizer inputs,
+/// so keep total weight moderate (it bounds the totalizer width).
+MinimizeResult minimizeWeightedTrueLiterals(SatBackend& backend,
+                                            std::span<const Literal> soft,
+                                            std::span<const int> weights,
+                                            SearchStrategy strategy = SearchStrategy::LinearDown,
+                                            std::span<const Literal> alwaysAssume = {});
+
+/// Outcome of a monotone feasibility search.
+struct IndexSearchResult {
+    bool feasible = false;  ///< false: no index in [lo, hi] is feasible.
+    int index = 0;          ///< smallest feasible index.
+    std::uint64_t solveCalls = 0;
+};
+
+/// Find the smallest index t in [lo, hi] such that solve({literalAt(t)}) is
+/// SAT.  Requires monotonicity: if t is feasible then every t' > t is
+/// feasible (the paper's done^t literals satisfy this by construction).
+/// Leaves the backend's model at the optimal index when feasible.
+/// `alwaysAssume` literals are added to every solve.
+IndexSearchResult smallestFeasibleIndex(SatBackend& backend,
+                                        const std::function<Literal(int)>& literalAt, int lo,
+                                        int hi,
+                                        SearchStrategy strategy = SearchStrategy::Binary,
+                                        std::span<const Literal> alwaysAssume = {});
+
+}  // namespace etcs::opt

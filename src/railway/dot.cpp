@@ -1,0 +1,80 @@
+#include "railway/dot.hpp"
+
+#include <array>
+#include <ostream>
+
+namespace etcs::rail {
+
+namespace {
+
+constexpr std::array<const char*, 8> kPalette = {
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+    "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+};
+
+}  // namespace
+
+void writeDot(std::ostream& out, const Network& network) {
+    out << "graph \"" << network.name() << "\" {\n"
+        << "  layout=neato;\n  node [shape=point];\n";
+    for (const Node& node : network.nodes()) {
+        out << "  \"" << node.name << "\" [xlabel=\"" << node.name << "\"];\n";
+    }
+    for (std::size_t t = 0; t < network.numTracks(); ++t) {
+        const Track& track = network.track(TrackId(t));
+        const TtdId ttd = network.ttdOfTrack(TrackId(t));
+        out << "  \"" << network.node(track.from).name << "\" -- \""
+            << network.node(track.to).name << "\" [label=\"" << track.name << " ("
+            << track.length.kilometers() << " km)\", color=\""
+            << kPalette[ttd.get() % kPalette.size()] << "\", penwidth=2];\n";
+    }
+    for (const Station& station : network.stations()) {
+        const Track& track = network.track(station.track);
+        out << "  \"st_" << station.name << "\" [shape=house, label=\"" << station.name
+            << "\"];\n"
+            << "  \"st_" << station.name << "\" -- \"" << network.node(track.from).name
+            << "\" [style=dotted];\n";
+    }
+    out << "}\n";
+}
+
+void writeDot(std::ostream& out, const SegmentGraph& graph,
+              const std::vector<bool>* borderByNode) {
+    out << "graph \"" << graph.network().name() << "_segments\" {\n"
+        << "  rankdir=LR;\n  node [shape=point, width=0.08];\n";
+    std::vector<int> sectionOfSegment(graph.numSegments(), 0);
+    if (borderByNode != nullptr) {
+        const auto sections = graph.sections(*borderByNode);
+        for (std::size_t i = 0; i < sections.size(); ++i) {
+            for (SegmentId s : sections[i]) {
+                sectionOfSegment[s.get()] = static_cast<int>(i);
+            }
+        }
+    }
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        const SegNode& node = graph.node(SegNodeId(n));
+        const bool isBorder =
+            node.fixedBorder || (borderByNode != nullptr && (*borderByNode)[n]);
+        out << "  n" << n << " [";
+        if (node.source.valid()) {
+            out << "xlabel=\"" << graph.network().node(node.source).name << "\", ";
+        }
+        if (isBorder) {
+            out << "shape=box, width=0.12, style=filled, fillcolor=black";
+        } else {
+            out << "shape=point";
+        }
+        out << "];\n";
+    }
+    for (std::size_t s = 0; s < graph.numSegments(); ++s) {
+        const Segment& seg = graph.segment(SegmentId(s));
+        const int section = sectionOfSegment[s];
+        out << "  n" << seg.a.get() << " -- n" << seg.b.get() << " [label=\""
+            << graph.segmentLabel(SegmentId(s)) << "\", color=\""
+            << kPalette[static_cast<std::size_t>(section) % kPalette.size()]
+            << "\", penwidth=2];\n";
+    }
+    out << "}\n";
+}
+
+}  // namespace etcs::rail

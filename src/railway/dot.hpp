@@ -1,0 +1,22 @@
+/// \file dot.hpp
+/// Graphviz (DOT) export of networks and segment graphs, so generated VSS
+/// layouts can be inspected visually (mirrors the paper's Fig. 1/2 drawings).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "railway/network.hpp"
+#include "railway/segment_graph.hpp"
+
+namespace etcs::rail {
+
+/// Render the physical network; TTD sections become colored clusters.
+void writeDot(std::ostream& out, const Network& network);
+
+/// Render the segment graph. When `borderByNode` is given, border nodes are
+/// drawn as filled boxes and each VSS section gets its own color class.
+void writeDot(std::ostream& out, const SegmentGraph& graph,
+              const std::vector<bool>* borderByNode = nullptr);
+
+}  // namespace etcs::rail

@@ -1,0 +1,251 @@
+#include "railway/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace etcs::rail {
+
+namespace {
+
+/// Split a line into whitespace-separated tokens; empty for comments.
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::istringstream ls(line);
+    std::string token;
+    while (ls >> token) {
+        if (token[0] == '#') {
+            break;
+        }
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+[[noreturn]] void fail(int lineNumber, const std::string& message) {
+    throw InputError("line " + std::to_string(lineNumber) + ": " + message);
+}
+
+std::int64_t parseInt(const std::string& token, int lineNumber) {
+    try {
+        std::size_t consumed = 0;
+        const std::int64_t value = std::stoll(token, &consumed);
+        if (consumed != token.size()) {
+            fail(lineNumber, "malformed integer: " + token);
+        }
+        return value;
+    } catch (const std::exception&) {
+        fail(lineNumber, "malformed integer: " + token);
+    }
+}
+
+}  // namespace
+
+Network readNetwork(std::istream& in) {
+    Network network;
+    bool named = false;
+    std::string line;
+    int lineNumber = 0;
+    while (std::getline(in, line)) {
+        ++lineNumber;
+        const auto tokens = tokenize(line);
+        if (tokens.empty()) {
+            continue;
+        }
+        const std::string& keyword = tokens[0];
+        if (keyword == "network") {
+            if (tokens.size() != 2 || named) {
+                fail(lineNumber, "expected a single 'network <name>' line");
+            }
+            network = Network(tokens[1]);
+            named = true;
+        } else if (keyword == "node") {
+            if (tokens.size() != 2) {
+                fail(lineNumber, "expected 'node <name>'");
+            }
+            network.addNode(tokens[1]);
+        } else if (keyword == "track") {
+            if (tokens.size() != 5) {
+                fail(lineNumber, "expected 'track <name> <nodeA> <nodeB> <length_m>'");
+            }
+            const auto a = network.findNode(tokens[2]);
+            const auto b = network.findNode(tokens[3]);
+            if (!a || !b) {
+                fail(lineNumber, "track references unknown node");
+            }
+            network.addTrack(tokens[1], *a, *b, Meters(parseInt(tokens[4], lineNumber)));
+        } else if (keyword == "ttd") {
+            if (tokens.size() < 3) {
+                fail(lineNumber, "expected 'ttd <name> <track>...'");
+            }
+            std::vector<TrackId> tracks;
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                const auto t = network.findTrack(tokens[i]);
+                if (!t) {
+                    fail(lineNumber, "ttd references unknown track: " + tokens[i]);
+                }
+                tracks.push_back(*t);
+            }
+            network.addTtd(tokens[1], std::move(tracks));
+        } else if (keyword == "station") {
+            if (tokens.size() != 4) {
+                fail(lineNumber, "expected 'station <name> <track> <offset_m>'");
+            }
+            const auto t = network.findTrack(tokens[2]);
+            if (!t) {
+                fail(lineNumber, "station references unknown track: " + tokens[2]);
+            }
+            network.addStation(tokens[1], *t, Meters(parseInt(tokens[3], lineNumber)));
+        } else {
+            fail(lineNumber, "unknown keyword: " + keyword);
+        }
+    }
+    network.validate();
+    return network;
+}
+
+void writeNetwork(std::ostream& out, const Network& network) {
+    out << "network " << network.name() << '\n';
+    for (const Node& node : network.nodes()) {
+        out << "node " << node.name << '\n';
+    }
+    for (const Track& track : network.tracks()) {
+        out << "track " << track.name << ' ' << network.node(track.from).name << ' '
+            << network.node(track.to).name << ' ' << track.length.count() << '\n';
+    }
+    for (const TtdSection& ttd : network.ttds()) {
+        out << "ttd " << ttd.name;
+        for (TrackId t : ttd.tracks) {
+            out << ' ' << network.track(t).name;
+        }
+        out << '\n';
+    }
+    for (const Station& station : network.stations()) {
+        out << "station " << station.name << ' ' << network.track(station.track).name << ' '
+            << station.offset.count() << '\n';
+    }
+}
+
+Scenario readScenario(std::istream& in, const Network& network) {
+    Scenario scenario;
+    std::string line;
+    int lineNumber = 0;
+    while (std::getline(in, line)) {
+        ++lineNumber;
+        const auto tokens = tokenize(line);
+        if (tokens.empty()) {
+            continue;
+        }
+        const std::string& keyword = tokens[0];
+        if (keyword == "scenario") {
+            if (tokens.size() != 2) {
+                fail(lineNumber, "expected 'scenario <name>'");
+            }
+            scenario.name = tokens[1];
+        } else if (keyword == "horizon") {
+            if (tokens.size() != 2) {
+                fail(lineNumber, "expected 'horizon <clock>'");
+            }
+            scenario.schedule.setHorizon(Seconds::parse(tokens[1]));
+        } else if (keyword == "train") {
+            if (tokens.size() != 4) {
+                fail(lineNumber, "expected 'train <name> <speed_kmh> <length_m>'");
+            }
+            scenario.trains.addTrain(tokens[1],
+                                     Speed::fromKmPerHour(parseInt(tokens[2], lineNumber)),
+                                     Meters(parseInt(tokens[3], lineNumber)));
+        } else if (keyword == "run") {
+            // run <train> from <station> dep <clock>
+            //     [via <station> [arr <clock>]]... to <station> [arr <clock>]
+            if (tokens.size() < 8 || tokens[2] != "from" || tokens[4] != "dep") {
+                fail(lineNumber, "expected 'run <train> from <station> dep <clock> ...'");
+            }
+            TrainRun run;
+            const auto train = scenario.trains.findTrain(tokens[1]);
+            if (!train) {
+                fail(lineNumber, "run references unknown train: " + tokens[1]);
+            }
+            run.train = *train;
+            const auto origin = network.findStation(tokens[3]);
+            if (!origin) {
+                fail(lineNumber, "run references unknown station: " + tokens[3]);
+            }
+            run.origin = *origin;
+            run.departure = Seconds::parse(tokens[5]);
+            std::size_t i = 6;
+            bool sawDestination = false;
+            while (i < tokens.size()) {
+                const std::string& kind = tokens[i];
+                if (kind != "via" && kind != "to") {
+                    fail(lineNumber, "expected 'via' or 'to', got: " + kind);
+                }
+                if (i + 1 >= tokens.size()) {
+                    fail(lineNumber, "missing station after '" + kind + "'");
+                }
+                const auto station = network.findStation(tokens[i + 1]);
+                if (!station) {
+                    fail(lineNumber, "run references unknown station: " + tokens[i + 1]);
+                }
+                TimedStop stop{*station, std::nullopt};
+                i += 2;
+                if (i < tokens.size() && tokens[i] == "arr") {
+                    if (i + 1 >= tokens.size()) {
+                        fail(lineNumber, "missing clock after 'arr'");
+                    }
+                    stop.arrival = Seconds::parse(tokens[i + 1]);
+                    i += 2;
+                }
+                if (i < tokens.size() && tokens[i] == "dwell") {
+                    if (i + 1 >= tokens.size()) {
+                        fail(lineNumber, "missing clock after 'dwell'");
+                    }
+                    stop.dwell = Seconds::parse(tokens[i + 1]);
+                    i += 2;
+                }
+                run.stops.push_back(stop);
+                if (kind == "to") {
+                    sawDestination = true;
+                    break;
+                }
+            }
+            if (!sawDestination || i != tokens.size()) {
+                fail(lineNumber, "run must end with 'to <station> [arr <clock>]'");
+            }
+            scenario.schedule.addRun(std::move(run));
+        } else {
+            fail(lineNumber, "unknown keyword: " + keyword);
+        }
+    }
+    return scenario;
+}
+
+void writeScenario(std::ostream& out, const Scenario& scenario, const Network& network) {
+    out << "scenario " << (scenario.name.empty() ? "unnamed" : scenario.name) << '\n';
+    if (!scenario.schedule.fullyTimed()) {
+        out << "horizon " << scenario.schedule.horizon().clock() << '\n';
+    }
+    for (const Train& train : scenario.trains.trains()) {
+        out << "train " << train.name << ' ' << static_cast<std::int64_t>(train.maxSpeed.kmPerHour())
+            << ' ' << train.length.count() << '\n';
+    }
+    for (const TrainRun& run : scenario.schedule.runs()) {
+        out << "run " << scenario.trains.train(run.train).name << " from "
+            << network.station(run.origin).name << " dep " << run.departure.clock();
+        for (std::size_t i = 0; i < run.stops.size(); ++i) {
+            const bool last = (i + 1 == run.stops.size());
+            out << (last ? " to " : " via ") << network.station(run.stops[i].station).name;
+            if (run.stops[i].arrival) {
+                out << " arr " << run.stops[i].arrival->clock();
+            }
+            if (run.stops[i].dwell.count() > 0) {
+                out << " dwell " << run.stops[i].dwell.clock();
+            }
+        }
+        out << '\n';
+    }
+}
+
+}  // namespace etcs::rail

@@ -1,0 +1,45 @@
+/// \file io.hpp
+/// Text formats for networks and scenarios.
+///
+/// Network file (.rail):
+///   network <name>
+///   node <name>
+///   track <name> <nodeA> <nodeB> <length_m>
+///   ttd <name> <track> [<track> ...]
+///   station <name> <track> <offset_m>
+///
+/// Scenario file (.sched):
+///   scenario <name>
+///   horizon <clock>                       (optional; needed for open arrivals)
+///   train <name> <speed_kmh> <length_m>
+///   run <train> from <station> dep <clock> [via <station> [arr <clock>]]...
+///       to <station> [arr <clock>]
+///
+/// Lines starting with '#' are comments. Clock values use the paper's
+/// notation (m:ss or h:mm:ss).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "railway/network.hpp"
+#include "railway/schedule.hpp"
+#include "railway/train.hpp"
+
+namespace etcs::rail {
+
+/// A named scenario: the trains plus their schedule on some network.
+struct Scenario {
+    std::string name;
+    TrainSet trains;
+    Schedule schedule;
+};
+
+[[nodiscard]] Network readNetwork(std::istream& in);
+void writeNetwork(std::ostream& out, const Network& network);
+
+/// Parse a scenario; stations are resolved against `network`.
+[[nodiscard]] Scenario readScenario(std::istream& in, const Network& network);
+void writeScenario(std::ostream& out, const Scenario& scenario, const Network& network);
+
+}  // namespace etcs::rail

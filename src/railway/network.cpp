@@ -1,0 +1,128 @@
+#include "railway/network.hpp"
+
+#include <algorithm>
+
+namespace etcs::rail {
+
+NodeId Network::addNode(std::string name) {
+    ETCS_REQUIRE_MSG(!nodeByName_.contains(name), "duplicate node name: " + name);
+    const NodeId id(nodes_.size());
+    nodeByName_.emplace(name, id);
+    nodes_.push_back(Node{std::move(name)});
+    return id;
+}
+
+TrackId Network::addTrack(std::string name, NodeId from, NodeId to, Meters length) {
+    ETCS_REQUIRE_MSG(!trackByName_.contains(name), "duplicate track name: " + name);
+    ETCS_REQUIRE_MSG(from.get() < nodes_.size() && to.get() < nodes_.size(),
+                     "track endpoints must be existing nodes");
+    ETCS_REQUIRE_MSG(from != to, "self-loop tracks are not supported");
+    ETCS_REQUIRE_MSG(length.count() > 0, "track length must be positive");
+    const TrackId id(tracks_.size());
+    trackByName_.emplace(name, id);
+    tracks_.push_back(Track{std::move(name), from, to, length});
+    ttdOfTrack_.push_back(TtdId{});
+    return id;
+}
+
+TtdId Network::addTtd(std::string name, std::vector<TrackId> trackIds) {
+    ETCS_REQUIRE_MSG(!ttdByName_.contains(name), "duplicate TTD name: " + name);
+    ETCS_REQUIRE_MSG(!trackIds.empty(), "a TTD must contain at least one track");
+    const TtdId id(ttds_.size());
+    for (TrackId t : trackIds) {
+        ETCS_REQUIRE_MSG(t.get() < tracks_.size(), "TTD references unknown track");
+        ETCS_REQUIRE_MSG(!ttdOfTrack_[t.get()].valid(),
+                         "track " + tracks_[t.get()].name + " already belongs to a TTD");
+        ttdOfTrack_[t.get()] = id;
+    }
+    ttdByName_.emplace(name, id);
+    ttds_.push_back(TtdSection{std::move(name), std::move(trackIds)});
+    return id;
+}
+
+StationId Network::addStation(std::string name, TrackId track, Meters offset) {
+    ETCS_REQUIRE_MSG(!stationByName_.contains(name), "duplicate station name: " + name);
+    ETCS_REQUIRE_MSG(track.get() < tracks_.size(), "station references unknown track");
+    ETCS_REQUIRE_MSG(offset.count() >= 0 && offset <= tracks_[track.get()].length,
+                     "station offset outside its track");
+    const StationId id(stations_.size());
+    stationByName_.emplace(name, id);
+    stations_.push_back(Station{std::move(name), track, offset});
+    return id;
+}
+
+int Network::degree(NodeId id) const {
+    int d = 0;
+    for (const Track& t : tracks_) {
+        if (t.from == id || t.to == id) {
+            ++d;
+        }
+    }
+    return d;
+}
+
+void Network::validate() const {
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        if (!ttdOfTrack_[i].valid()) {
+            throw InputError("track " + tracks_[i].name + " does not belong to any TTD");
+        }
+    }
+    if (nodes_.empty() || tracks_.empty()) {
+        throw InputError("network must have at least one track");
+    }
+    // Connectivity check (BFS over nodes).
+    std::vector<char> seen(nodes_.size(), 0);
+    std::vector<NodeId> queue{NodeId(std::size_t{0})};
+    seen[0] = 1;
+    while (!queue.empty()) {
+        const NodeId current = queue.back();
+        queue.pop_back();
+        for (const Track& t : tracks_) {
+            NodeId next;
+            if (t.from == current) {
+                next = t.to;
+            } else if (t.to == current) {
+                next = t.from;
+            } else {
+                continue;
+            }
+            if (seen[next.get()] == 0) {
+                seen[next.get()] = 1;
+                queue.push_back(next);
+            }
+        }
+    }
+    if (std::any_of(seen.begin(), seen.end(), [](char c) { return c == 0; })) {
+        throw InputError("network is not connected");
+    }
+}
+
+std::optional<NodeId> Network::findNode(std::string_view name) const {
+    const auto it = nodeByName_.find(std::string(name));
+    return it == nodeByName_.end() ? std::nullopt : std::optional(it->second);
+}
+
+std::optional<TrackId> Network::findTrack(std::string_view name) const {
+    const auto it = trackByName_.find(std::string(name));
+    return it == trackByName_.end() ? std::nullopt : std::optional(it->second);
+}
+
+std::optional<StationId> Network::findStation(std::string_view name) const {
+    const auto it = stationByName_.find(std::string(name));
+    return it == stationByName_.end() ? std::nullopt : std::optional(it->second);
+}
+
+std::optional<TtdId> Network::findTtd(std::string_view name) const {
+    const auto it = ttdByName_.find(std::string(name));
+    return it == ttdByName_.end() ? std::nullopt : std::optional(it->second);
+}
+
+Meters Network::totalLength() const {
+    Meters total{};
+    for (const Track& t : tracks_) {
+        total = total + t.length;
+    }
+    return total;
+}
+
+}  // namespace etcs::rail

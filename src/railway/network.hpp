@@ -1,0 +1,114 @@
+/// \file network.hpp
+/// The physical railway network: nodes (connection points), tracks, TTD
+/// sections and stations.
+///
+/// This is the model the paper starts from in Sec. III-A: tracks between
+/// switches/axle counters, grouped into trackside-train-detection (TTD)
+/// sections, with named stations located at points along tracks.  The
+/// discretizer (segment_graph.hpp) turns it into the segment graph G=(V,E).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace etcs::rail {
+
+/// A connection point between tracks (switch, endpoint, or plain joint; the
+/// kind follows from the degree).
+struct Node {
+    std::string name;
+};
+
+/// A physical track between two nodes.
+struct Track {
+    std::string name;
+    NodeId from;
+    NodeId to;
+    Meters length;
+};
+
+/// A trackside-train-detection section: a set of tracks whose occupation is
+/// observed jointly by physical axle counters.
+struct TtdSection {
+    std::string name;
+    std::vector<TrackId> tracks;
+};
+
+/// A named stopping position: a point at `offset` from the `from`-node of a
+/// track.
+struct Station {
+    std::string name;
+    TrackId track;
+    Meters offset;
+};
+
+/// An immutable-after-validation railway network.
+///
+/// Build it up with the add* methods, then call validate() once; the
+/// discretizer and all algorithms require a validated network.
+class Network {
+public:
+    explicit Network(std::string name = "network") : name_(std::move(name)) {}
+
+    NodeId addNode(std::string name);
+    TrackId addTrack(std::string name, NodeId from, NodeId to, Meters length);
+    TtdId addTtd(std::string name, std::vector<TrackId> tracks);
+    StationId addStation(std::string name, TrackId track, Meters offset);
+
+    /// Check structural invariants; throws InputError on violation:
+    /// every track belongs to exactly one TTD, station offsets lie on their
+    /// track, names are unique, and the network is connected.
+    void validate() const;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t numNodes() const noexcept { return nodes_.size(); }
+    [[nodiscard]] std::size_t numTracks() const noexcept { return tracks_.size(); }
+    [[nodiscard]] std::size_t numTtds() const noexcept { return ttds_.size(); }
+    [[nodiscard]] std::size_t numStations() const noexcept { return stations_.size(); }
+
+    [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id.get()); }
+    [[nodiscard]] const Track& track(TrackId id) const { return tracks_.at(id.get()); }
+    [[nodiscard]] const TtdSection& ttd(TtdId id) const { return ttds_.at(id.get()); }
+    [[nodiscard]] const Station& station(StationId id) const { return stations_.at(id.get()); }
+
+    [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
+    [[nodiscard]] std::span<const Track> tracks() const noexcept { return tracks_; }
+    [[nodiscard]] std::span<const TtdSection> ttds() const noexcept { return ttds_; }
+    [[nodiscard]] std::span<const Station> stations() const noexcept { return stations_; }
+
+    /// TTD a track belongs to (invalid id before the TTD was declared).
+    [[nodiscard]] TtdId ttdOfTrack(TrackId id) const { return ttdOfTrack_.at(id.get()); }
+
+    /// Number of tracks incident to a node.
+    [[nodiscard]] int degree(NodeId id) const;
+
+    [[nodiscard]] std::optional<NodeId> findNode(std::string_view name) const;
+    [[nodiscard]] std::optional<TrackId> findTrack(std::string_view name) const;
+    [[nodiscard]] std::optional<StationId> findStation(std::string_view name) const;
+    [[nodiscard]] std::optional<TtdId> findTtd(std::string_view name) const;
+
+    /// Total length of all tracks.
+    [[nodiscard]] Meters totalLength() const;
+
+private:
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<Track> tracks_;
+    std::vector<TtdSection> ttds_;
+    std::vector<Station> stations_;
+    std::vector<TtdId> ttdOfTrack_;
+    std::unordered_map<std::string, NodeId> nodeByName_;
+    std::unordered_map<std::string, TrackId> trackByName_;
+    std::unordered_map<std::string, TtdId> ttdByName_;
+    std::unordered_map<std::string, StationId> stationByName_;
+};
+
+}  // namespace etcs::rail

@@ -1,0 +1,87 @@
+/// \file schedule.hpp
+/// Train schedules: per-train runs with departure, stops and arrivals.
+///
+/// Arrival times are optional: the verification and generation tasks pin
+/// them (paper Sec. III-C, triples (tr, e, t_i)); the optimization task
+/// leaves them open and lets the solver minimize completion time.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "railway/train.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace etcs::rail {
+
+/// A stop of a run: the station, optionally the required arrival time, and
+/// optionally a minimum dwell (the train must stand at the stop at least
+/// this long before continuing).
+struct TimedStop {
+    StationId station;
+    std::optional<Seconds> arrival;
+    Seconds dwell{};
+};
+
+/// One train's run through the network.
+struct TrainRun {
+    TrainId train;
+    StationId origin;              ///< where the train enters the network
+    Seconds departure;             ///< when it appears at the origin
+    std::vector<TimedStop> stops;  ///< visited in order; back() is the destination
+
+    [[nodiscard]] const TimedStop& destination() const {
+        ETCS_REQUIRE_MSG(!stops.empty(), "a run needs at least a destination stop");
+        return stops.back();
+    }
+};
+
+/// A scenario's schedule: one run per participating train.
+class Schedule {
+public:
+    void addRun(TrainRun run) {
+        ETCS_REQUIRE_MSG(!run.stops.empty(), "a run needs at least a destination stop");
+        runs_.push_back(std::move(run));
+    }
+
+    [[nodiscard]] std::span<const TrainRun> runs() const noexcept { return runs_; }
+    [[nodiscard]] std::size_t size() const noexcept { return runs_.size(); }
+
+    /// Force a specific scenario length (needed when arrivals are open).
+    void setHorizon(Seconds horizon) { explicitHorizon_ = horizon; }
+
+    /// Scenario length: the explicit horizon if set, otherwise the latest
+    /// required arrival among all stops.
+    [[nodiscard]] Seconds horizon() const {
+        if (explicitHorizon_) {
+            return *explicitHorizon_;
+        }
+        Seconds latest{};
+        for (const TrainRun& run : runs_) {
+            latest = std::max(latest, run.departure);
+            for (const TimedStop& stop : run.stops) {
+                if (stop.arrival) {
+                    latest = std::max(latest, *stop.arrival);
+                }
+            }
+        }
+        return latest;
+    }
+
+    /// True when every stop of every run carries a required arrival time.
+    [[nodiscard]] bool fullyTimed() const {
+        return std::all_of(runs_.begin(), runs_.end(), [](const TrainRun& run) {
+            return std::all_of(run.stops.begin(), run.stops.end(),
+                               [](const TimedStop& s) { return s.arrival.has_value(); });
+        });
+    }
+
+private:
+    std::vector<TrainRun> runs_;
+    std::optional<Seconds> explicitHorizon_;
+};
+
+}  // namespace etcs::rail

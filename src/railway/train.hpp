@@ -1,0 +1,57 @@
+/// \file train.hpp
+/// Trains and the train roster.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace etcs::rail {
+
+/// A train as the paper models it: a maximum speed s_tr and a length l_tr.
+struct Train {
+    std::string name;
+    Speed maxSpeed;
+    Meters length;
+
+    /// l*_tr: number of segments the train occupies at resolution `r`.
+    [[nodiscard]] int lengthSegments(Resolution r) const { return r.trainLengthSegments(length); }
+    /// Segments the train can advance per time step at resolution `r`.
+    [[nodiscard]] int speedSegments(Resolution r) const { return r.segmentsPerStep(maxSpeed); }
+};
+
+/// The roster of trains taking part in a scenario.
+class TrainSet {
+public:
+    TrainId addTrain(std::string name, Speed maxSpeed, Meters length) {
+        ETCS_REQUIRE_MSG(!byName_.contains(name), "duplicate train name: " + name);
+        ETCS_REQUIRE_MSG(length.count() > 0, "train length must be positive");
+        ETCS_REQUIRE_MSG(maxSpeed.metresPerHour() > 0, "train speed must be positive");
+        const TrainId id(trains_.size());
+        byName_.emplace(name, id);
+        trains_.push_back(Train{std::move(name), maxSpeed, length});
+        return id;
+    }
+
+    [[nodiscard]] const Train& train(TrainId id) const { return trains_.at(id.get()); }
+    [[nodiscard]] std::span<const Train> trains() const noexcept { return trains_; }
+    [[nodiscard]] std::size_t size() const noexcept { return trains_.size(); }
+
+    [[nodiscard]] std::optional<TrainId> findTrain(std::string_view name) const {
+        const auto it = byName_.find(std::string(name));
+        return it == byName_.end() ? std::nullopt : std::optional(it->second);
+    }
+
+private:
+    std::vector<Train> trains_;
+    std::unordered_map<std::string, TrainId> byName_;
+};
+
+}  // namespace etcs::rail

@@ -1,0 +1,109 @@
+/// \file clause.hpp
+/// Arena-allocated clause storage.
+///
+/// Clauses live in one contiguous std::uint32_t arena and are addressed by
+/// ClauseRef offsets, which keeps watcher lists compact and makes garbage
+/// collection a linear copy.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+#include "util/error.hpp"
+
+namespace etcs::sat {
+
+/// Offset of a clause inside the ClauseArena.
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kInvalidClause = 0xFFFFFFFFu;
+
+/// A non-owning view of a clause stored in a ClauseArena.
+///
+/// Layout in the arena:
+///   word 0: (size << 1) | learnt
+///   word 1: activity as float bits (learnt clauses only)
+///   word 2...: literal codes
+class Clause {
+public:
+    Clause(std::uint32_t* base) noexcept : base_(base) {}
+
+    [[nodiscard]] std::uint32_t size() const noexcept { return base_[0] >> 1; }
+    [[nodiscard]] bool learnt() const noexcept { return (base_[0] & 1) != 0; }
+
+    [[nodiscard]] Literal operator[](std::uint32_t i) const noexcept {
+        return Literal::fromCode(static_cast<std::int32_t>(lits()[i]));
+    }
+    void setLiteral(std::uint32_t i, Literal l) noexcept {
+        lits()[i] = static_cast<std::uint32_t>(l.code());
+    }
+
+    /// Drop the literal at position i by swapping in the last literal.
+    void removeLiteral(std::uint32_t i) noexcept {
+        lits()[i] = lits()[size() - 1];
+        base_[0] -= 2;  // size -= 1, learnt flag preserved
+    }
+
+    [[nodiscard]] float activity() const noexcept {
+        return std::bit_cast<float>(base_[1]);
+    }
+    void setActivity(float a) noexcept { base_[1] = std::bit_cast<std::uint32_t>(a); }
+
+    /// Words needed to store a clause of `size` literals.
+    [[nodiscard]] static std::uint32_t words(std::uint32_t size, bool learnt) noexcept {
+        return 1 + (learnt ? 1 : 0) + size;
+    }
+
+private:
+    [[nodiscard]] std::uint32_t* lits() const noexcept { return base_ + 1 + (learnt() ? 1 : 0); }
+
+    std::uint32_t* base_;
+};
+
+/// Bump allocator for clauses with mark-and-copy garbage collection support.
+class ClauseArena {
+public:
+    /// Allocate a clause; returns its reference.
+    ClauseRef allocate(std::span<const Literal> lits, bool learnt) {
+        ETCS_REQUIRE(lits.size() >= 2);
+        const auto need = Clause::words(static_cast<std::uint32_t>(lits.size()), learnt);
+        const ClauseRef ref = static_cast<ClauseRef>(storage_.size());
+        storage_.resize(storage_.size() + need);
+        std::uint32_t* base = storage_.data() + ref;
+        base[0] = (static_cast<std::uint32_t>(lits.size()) << 1) | (learnt ? 1u : 0u);
+        std::uint32_t* out = base + 1;
+        if (learnt) {
+            *out++ = std::bit_cast<std::uint32_t>(0.0f);
+        }
+        for (Literal l : lits) {
+            *out++ = static_cast<std::uint32_t>(l.code());
+        }
+        ++liveClauses_;
+        return ref;
+    }
+
+    [[nodiscard]] Clause view(ClauseRef ref) noexcept { return Clause(storage_.data() + ref); }
+    [[nodiscard]] Clause view(ClauseRef ref) const noexcept {
+        // Clause only mutates through non-const methods; this const overload
+        // is used for read-only inspection.
+        return Clause(const_cast<std::uint32_t*>(storage_.data() + ref));
+    }
+
+    void markFreed(ClauseRef ref) noexcept {
+        wasted_ += Clause::words(view(ref).size(), view(ref).learnt());
+        --liveClauses_;
+    }
+
+    [[nodiscard]] std::size_t wastedWords() const noexcept { return wasted_; }
+    [[nodiscard]] std::size_t totalWords() const noexcept { return storage_.size(); }
+    [[nodiscard]] std::size_t liveClauses() const noexcept { return liveClauses_; }
+
+private:
+    std::vector<std::uint32_t> storage_;
+    std::size_t wasted_ = 0;
+    std::size_t liveClauses_ = 0;
+};
+
+}  // namespace etcs::sat

@@ -1,0 +1,76 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace etcs::sat {
+
+CnfFormula readDimacs(std::istream& in) {
+    CnfFormula formula;
+    bool sawHeader = false;
+    std::size_t declaredClauses = 0;
+    std::vector<Literal> current;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == 'c') {
+            continue;
+        }
+        std::istringstream ls(line);
+        if (line[0] == 'p') {
+            std::string p;
+            std::string fmt;
+            std::size_t vars = 0;
+            if (!(ls >> p >> fmt >> vars >> declaredClauses) || fmt != "cnf") {
+                throw InputError("malformed DIMACS header: " + line);
+            }
+            formula.numVariables = static_cast<int>(vars);
+            sawHeader = true;
+            continue;
+        }
+        if (!sawHeader) {
+            throw InputError("DIMACS clause before 'p cnf' header");
+        }
+        long long value = 0;
+        while (ls >> value) {
+            if (value == 0) {
+                formula.clauses.push_back(current);
+                current.clear();
+                continue;
+            }
+            const Var v = static_cast<Var>(std::abs(value)) - 1;
+            if (v >= formula.numVariables) {
+                throw InputError("DIMACS literal exceeds declared variable count: " +
+                                 std::to_string(value));
+            }
+            current.push_back(Literal(v, value < 0));
+        }
+    }
+    if (!sawHeader) {
+        throw InputError("missing DIMACS 'p cnf' header");
+    }
+    if (!current.empty()) {
+        throw InputError("DIMACS input ends inside a clause (missing trailing 0)");
+    }
+    if (declaredClauses != formula.clauses.size()) {
+        throw InputError("DIMACS clause count mismatch: declared " +
+                         std::to_string(declaredClauses) + ", found " +
+                         std::to_string(formula.clauses.size()));
+    }
+    return formula;
+}
+
+void writeDimacs(std::ostream& out, const CnfFormula& formula) {
+    out << "p cnf " << formula.numVariables << ' ' << formula.clauses.size() << '\n';
+    for (const auto& clause : formula.clauses) {
+        for (Literal l : clause) {
+            out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+        }
+        out << "0\n";
+    }
+}
+
+}  // namespace etcs::sat

@@ -1,0 +1,25 @@
+/// \file dimacs.hpp
+/// Reading and writing CNF formulas in DIMACS format.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace etcs::sat {
+
+/// A plain CNF formula: a variable count plus clauses of literals.
+struct CnfFormula {
+    int numVariables = 0;
+    std::vector<std::vector<Literal>> clauses;
+};
+
+/// Parse a DIMACS CNF stream ("c" comments, "p cnf V C" header, clauses
+/// terminated by 0). Throws etcs::InputError on malformed input.
+[[nodiscard]] CnfFormula readDimacs(std::istream& in);
+
+/// Write a formula in DIMACS CNF format.
+void writeDimacs(std::ostream& out, const CnfFormula& formula);
+
+}  // namespace etcs::sat

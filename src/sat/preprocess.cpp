@@ -1,0 +1,191 @@
+#include "sat/preprocess.hpp"
+
+#include <algorithm>
+
+namespace etcs::sat {
+
+namespace {
+
+/// Tri-state assignment tracked during preprocessing.
+class Assignment {
+public:
+    explicit Assignment(int numVariables) : value_(numVariables, Value::Undef) {}
+
+    [[nodiscard]] Value of(Literal l) const {
+        const Value v = value_[l.var()];
+        return l.sign() ? negate(v) : v;
+    }
+
+    /// Returns false on conflict.
+    bool assign(Literal l) {
+        const Value current = of(l);
+        if (current == Value::False) {
+            return false;
+        }
+        value_[l.var()] = l.sign() ? Value::False : Value::True;
+        return true;
+    }
+
+    [[nodiscard]] bool isAssigned(Var v) const { return value_[v] != Value::Undef; }
+
+private:
+    std::vector<Value> value_;
+};
+
+/// Normalize one clause under the current assignment: drop false literals
+/// and duplicates. Returns false if the clause is satisfied or a tautology
+/// (i.e. should be removed from the formula).
+bool normalizeClause(std::vector<Literal>& clause, const Assignment& assignment,
+                     PreprocessStats& stats) {
+    std::sort(clause.begin(), clause.end());
+    std::size_t out = 0;
+    Literal previous = kUndefLiteral;
+    for (Literal l : clause) {
+        if (assignment.of(l) == Value::True) {
+            return false;  // satisfied
+        }
+        if (l == ~previous) {
+            ++stats.removedTautologies;
+            return false;  // tautology
+        }
+        if (assignment.of(l) == Value::False || l == previous) {
+            continue;
+        }
+        clause[out++] = l;
+        previous = l;
+    }
+    clause.resize(out);
+    return true;
+}
+
+/// True when `small` subsumes `big` (both sorted): small is a subset of big.
+bool subsumes(const std::vector<Literal>& small, const std::vector<Literal>& big) {
+    if (small.size() > big.size()) {
+        return false;
+    }
+    return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+PreprocessResult preprocess(CnfFormula& formula) {
+    PreprocessResult result;
+    Assignment assignment(formula.numVariables);
+
+    auto markUnsat = [&] {
+        result.unsatisfiable = true;
+        formula.clauses.assign(1, std::vector<Literal>{});
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++result.stats.rounds;
+
+        // --- normalization + unit propagation to fixpoint ------------------
+        bool propagated = true;
+        while (propagated) {
+            propagated = false;
+            std::vector<std::vector<Literal>> kept;
+            kept.reserve(formula.clauses.size());
+            for (auto& clause : formula.clauses) {
+                if (!normalizeClause(clause, assignment, result.stats)) {
+                    changed = true;
+                    continue;  // satisfied or tautological
+                }
+                if (clause.empty()) {
+                    markUnsat();
+                    return result;
+                }
+                if (clause.size() == 1) {
+                    if (!assignment.assign(clause[0])) {
+                        markUnsat();
+                        return result;
+                    }
+                    result.fixedLiterals.push_back(clause[0]);
+                    ++result.stats.propagatedUnits;
+                    propagated = true;
+                    changed = true;
+                    continue;  // consumed as a fact
+                }
+                kept.push_back(std::move(clause));
+            }
+            formula.clauses = std::move(kept);
+        }
+
+        // --- pure-literal elimination --------------------------------------
+        {
+            std::vector<char> posSeen(formula.numVariables, 0);
+            std::vector<char> negSeen(formula.numVariables, 0);
+            for (const auto& clause : formula.clauses) {
+                for (Literal l : clause) {
+                    (l.sign() ? negSeen : posSeen)[l.var()] = 1;
+                }
+            }
+            for (Var v = 0; v < formula.numVariables; ++v) {
+                if (assignment.isAssigned(v) || (posSeen[v] == 0 && negSeen[v] == 0)) {
+                    continue;
+                }
+                if (posSeen[v] == 0 || negSeen[v] == 0) {
+                    const Literal pure(v, posSeen[v] == 0);
+                    if (assignment.assign(pure)) {
+                        result.pureLiterals.push_back(pure);
+                        ++result.stats.eliminatedPureLiterals;
+                        changed = true;
+                    }
+                }
+            }
+            if (changed) {
+                continue;  // re-run normalization with the new assignments
+            }
+        }
+
+        // --- subsumption and self-subsuming resolution ----------------------
+        // Sort by size so potential subsumers come first.
+        std::sort(formula.clauses.begin(), formula.clauses.end(),
+                  [](const auto& a, const auto& b) { return a.size() < b.size(); });
+        std::vector<char> removed(formula.clauses.size(), 0);
+        for (std::size_t i = 0; i < formula.clauses.size(); ++i) {
+            if (removed[i] != 0) {
+                continue;
+            }
+            for (std::size_t j = i + 1; j < formula.clauses.size(); ++j) {
+                if (removed[j] != 0) {
+                    continue;
+                }
+                if (subsumes(formula.clauses[i], formula.clauses[j])) {
+                    removed[j] = 1;
+                    ++result.stats.subsumedClauses;
+                    changed = true;
+                    continue;
+                }
+                // Self-subsuming resolution: if flipping one literal of the
+                // smaller clause makes it a subset of the bigger one, that
+                // literal's complement can be removed from the bigger clause.
+                for (std::size_t p = 0; p < formula.clauses[i].size(); ++p) {
+                    std::vector<Literal> flipped = formula.clauses[i];
+                    flipped[p] = ~flipped[p];
+                    std::sort(flipped.begin(), flipped.end());
+                    if (subsumes(flipped, formula.clauses[j])) {
+                        auto& big = formula.clauses[j];
+                        big.erase(std::find(big.begin(), big.end(), ~formula.clauses[i][p]));
+                        ++result.stats.strengthenedClauses;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        std::vector<std::vector<Literal>> kept;
+        kept.reserve(formula.clauses.size());
+        for (std::size_t i = 0; i < formula.clauses.size(); ++i) {
+            if (removed[i] == 0) {
+                kept.push_back(std::move(formula.clauses[i]));
+            }
+        }
+        formula.clauses = std::move(kept);
+    }
+    return result;
+}
+
+}  // namespace etcs::sat

@@ -1,0 +1,46 @@
+/// \file preprocess.hpp
+/// CNF preprocessing: satisfiability-preserving simplifications applied
+/// before handing a formula to the solver.
+///
+/// Implemented rules (each applied to fixpoint, in rounds):
+///  * tautology and duplicate-literal removal,
+///  * unit propagation (fixed literals are recorded and removed),
+///  * pure-literal elimination (literals occurring in one polarity only),
+///  * forward subsumption (drop clauses containing another clause),
+///  * self-subsuming resolution (strengthen a clause by removing a literal
+///    whose complement-resolvent is subsumed).
+///
+/// The result is equisatisfiable with the input; models of the simplified
+/// formula extend to models of the original via `fixedLiterals` plus the
+/// recorded pure-literal assignments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/dimacs.hpp"
+#include "sat/types.hpp"
+
+namespace etcs::sat {
+
+struct PreprocessStats {
+    std::uint64_t removedTautologies = 0;
+    std::uint64_t propagatedUnits = 0;
+    std::uint64_t eliminatedPureLiterals = 0;
+    std::uint64_t subsumedClauses = 0;
+    std::uint64_t strengthenedClauses = 0;
+    int rounds = 0;
+};
+
+struct PreprocessResult {
+    bool unsatisfiable = false;          ///< a contradiction was derived
+    std::vector<Literal> fixedLiterals;  ///< units propagated (hold in every model)
+    std::vector<Literal> pureLiterals;   ///< pure literals assigned true
+    PreprocessStats stats;
+};
+
+/// Simplify `formula` in place. When `result.unsatisfiable` is set, the
+/// remaining clause list contains a single empty clause.
+PreprocessResult preprocess(CnfFormula& formula);
+
+}  // namespace etcs::sat

@@ -1,0 +1,192 @@
+/// \file solver.hpp
+/// A conflict-driven clause-learning (CDCL) SAT solver.
+///
+/// Feature set: two-watched-literal propagation with blockers, first-UIP
+/// conflict analysis with deep clause minimization, EVSIDS variable
+/// activities, phase saving, Luby restarts, activity-based learned-clause
+/// database reduction, and incremental solving under assumptions with
+/// failed-assumption core extraction.
+///
+/// Usage:
+///   Solver s;
+///   Var a = s.addVariable(), b = s.addVariable();
+///   s.addClause({Literal::positive(a), Literal::positive(b)});
+///   if (s.solve() == SolveStatus::Sat) { ... s.modelValue(a) ... }
+///
+/// Clauses may only be added at decision level 0, i.e. before the first
+/// solve() or between solve() calls (the solver always returns at level 0).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "sat/clause.hpp"
+#include "sat/types.hpp"
+
+namespace etcs::sat {
+
+class Solver {
+public:
+    Solver() = default;
+
+    // Solver owns large internal state with self-references (the decision
+    // heap points at the activity table); it is neither copyable nor movable.
+    Solver(const Solver&) = delete;
+    Solver& operator=(const Solver&) = delete;
+    Solver(Solver&&) = delete;
+    Solver& operator=(Solver&&) = delete;
+
+    /// Create a fresh variable and return it.
+    Var addVariable();
+
+    [[nodiscard]] int numVariables() const noexcept { return static_cast<int>(assigns_.size()); }
+    [[nodiscard]] std::size_t numClauses() const noexcept { return clauses_.size(); }
+    [[nodiscard]] std::size_t numLearnedClauses() const noexcept { return learnts_.size(); }
+
+    /// Add a clause. Returns false when the clause system is already
+    /// unsatisfiable at the root level (in which case solve() is Unsat).
+    bool addClause(std::span<const Literal> literals);
+    bool addClause(std::initializer_list<Literal> literals) {
+        return addClause(std::span<const Literal>(literals.begin(), literals.size()));
+    }
+
+    /// Decide satisfiability under the given assumption literals.
+    SolveStatus solve(std::span<const Literal> assumptions);
+    SolveStatus solve(std::initializer_list<Literal> assumptions) {
+        return solve(std::span<const Literal>(assumptions.begin(), assumptions.size()));
+    }
+    SolveStatus solve() { return solve(std::span<const Literal>{}); }
+
+    /// Value of a variable/literal in the most recent satisfying model.
+    [[nodiscard]] Value modelValue(Var v) const;
+    [[nodiscard]] Value modelValue(Literal l) const;
+
+    /// After an Unsat result of solve(assumptions): a subset of the
+    /// assumptions that is jointly unsatisfiable with the clauses.
+    [[nodiscard]] const std::vector<Literal>& conflictCore() const noexcept {
+        return conflictCore_;
+    }
+
+    /// False once the clause system is unsatisfiable regardless of assumptions.
+    [[nodiscard]] bool okay() const noexcept { return ok_; }
+
+    [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] SolverOptions& options() noexcept { return options_; }
+    [[nodiscard]] const SolverOptions& options() const noexcept { return options_; }
+
+    /// Rebuild the clause arena without the space of deleted clauses.
+    /// Called automatically when a third of the arena is garbage; exposed
+    /// so tests (and memory-sensitive embedders) can force a compaction.
+    void compactClauseDatabase();
+
+    /// Words currently wasted by deleted clauses (observability for tests).
+    [[nodiscard]] std::size_t wastedArenaWords() const noexcept {
+        return arena_.wastedWords();
+    }
+
+private:
+    struct Watcher {
+        ClauseRef clause = kInvalidClause;
+        Literal blocker;
+    };
+
+    /// Indexed max-heap over variable activities (the VSIDS order).
+    class VarOrderHeap {
+    public:
+        explicit VarOrderHeap(const std::vector<double>& activity) : activity_(&activity) {}
+        VarOrderHeap(const VarOrderHeap&) = default;
+        VarOrderHeap& operator=(const VarOrderHeap&) = default;
+
+        [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+        [[nodiscard]] bool contains(Var v) const noexcept {
+            return v < static_cast<Var>(index_.size()) && index_[v] >= 0;
+        }
+        void grow(Var v) {
+            if (v >= static_cast<Var>(index_.size())) {
+                index_.resize(v + 1, -1);
+            }
+        }
+        void insert(Var v);
+        void increased(Var v);  ///< activity of v increased: restore heap order
+        Var removeMax();
+        void rebuild(const std::vector<Var>& vars);
+
+    private:
+        [[nodiscard]] bool less(Var a, Var b) const noexcept {
+            return (*activity_)[a] < (*activity_)[b];
+        }
+        void percolateUp(int pos);
+        void percolateDown(int pos);
+
+        const std::vector<double>* activity_;
+        std::vector<Var> heap_;
+        std::vector<int> index_;
+    };
+
+    [[nodiscard]] Value value(Var v) const noexcept { return assigns_[v]; }
+    [[nodiscard]] Value value(Literal l) const noexcept {
+        const Value v = assigns_[l.var()];
+        return l.sign() ? negate(v) : v;
+    }
+    [[nodiscard]] int decisionLevel() const noexcept { return static_cast<int>(trailLim_.size()); }
+
+    void newDecisionLevel() { trailLim_.push_back(static_cast<int>(trail_.size())); }
+    void uncheckedEnqueue(Literal p, ClauseRef from);
+    ClauseRef propagate();
+    void cancelUntil(int level);
+    Literal pickBranchLiteral();
+    void analyze(ClauseRef conflict, std::vector<Literal>& outLearnt, int& outBacktrackLevel);
+    bool literalRedundant(Literal p, std::uint32_t abstractLevels);
+    void analyzeFinal(Literal failedAssumption);
+    SolveStatus search(std::int64_t conflictBudget);
+    void reduceLearnedDb();
+    void attachClause(ClauseRef ref);
+    void detachClause(ClauseRef ref);
+    [[nodiscard]] bool locked(ClauseRef ref) const;
+    void bumpVariable(Var v);
+    void bumpClause(Clause c);
+    void decayVariableActivity() { variableIncrement_ /= options_.variableDecay; }
+    void decayClauseActivity() { clauseIncrement_ /= options_.clauseDecay; }
+    void rescaleVariableActivity();
+    void rescaleClauseActivity();
+    [[nodiscard]] std::uint32_t abstractLevel(Var v) const noexcept {
+        return 1u << (level_[v] & 31);
+    }
+    void storeModel();
+
+    SolverOptions options_;
+    SolverStats stats_;
+
+    ClauseArena arena_;
+    std::vector<ClauseRef> clauses_;  ///< problem clauses of size >= 2
+    std::vector<ClauseRef> learnts_;  ///< learned clauses
+
+    std::vector<std::vector<Watcher>> watches_;  ///< indexed by literal code
+    std::vector<Value> assigns_;
+    std::vector<int> level_;
+    std::vector<ClauseRef> reason_;
+    std::vector<Literal> trail_;
+    std::vector<int> trailLim_;
+    int propagationHead_ = 0;
+
+    std::vector<double> activity_;
+    double variableIncrement_ = 1.0;
+    double clauseIncrement_ = 1.0;
+    VarOrderHeap order_{activity_};
+    std::vector<char> polarity_;
+
+    std::vector<Literal> assumptions_;
+    std::vector<Literal> conflictCore_;
+
+    std::vector<char> seen_;
+    std::vector<Literal> analyzeStack_;
+    std::vector<Literal> analyzeToClear_;
+
+    std::vector<Value> model_;
+    bool ok_ = true;
+    double maxLearnts_ = 0.0;
+};
+
+}  // namespace etcs::sat

@@ -1,0 +1,153 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace etcs::sim {
+
+Simulator::Simulator(const rail::SegmentGraph& graph, std::vector<bool> borderByNode)
+    : graph_(&graph), sectionOfSegment_(graph.numSegments(), -1) {
+    const auto sections = graph.sections(borderByNode);
+    numSections_ = static_cast<int>(sections.size());
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        for (SegmentId s : sections[i]) {
+            sectionOfSegment_[s.get()] = static_cast<int>(i);
+        }
+    }
+}
+
+SimResult Simulator::run(std::span<const SimTrain> trains, int maxSteps) const {
+    for (const SimTrain& t : trains) {
+        ETCS_REQUIRE_MSG(!t.route.empty(), "simulated train needs a route");
+        ETCS_REQUIRE_MSG(t.lengthSegments >= 1 && t.speedSegments >= 1,
+                         "train length/speed must be at least one segment");
+    }
+
+    SimResult result;
+    result.arrivalStep.assign(trains.size(), -1);
+
+    // headIndex[i]: index into route of the head segment; -1 before
+    // departure; route.size() once arrived (train removed).
+    std::vector<int> headIndex(trains.size(), -1);
+    // Occupancy: which train occupies each VSS section (-1: free).
+    std::vector<int> sectionOwner(static_cast<std::size_t>(numSections_), -1);
+
+    auto occupiedSegments = [&](std::size_t i) {
+        std::vector<SegmentId> segs;
+        const int head = headIndex[i];
+        if (head < 0 || head >= static_cast<int>(trains[i].route.size())) {
+            return segs;
+        }
+        const int tail = std::max(0, head - trains[i].lengthSegments + 1);
+        for (int p = head; p >= tail; --p) {
+            segs.push_back(trains[i].route[static_cast<std::size_t>(p)]);
+        }
+        return segs;
+    };
+
+    auto recomputeOwners = [&] {
+        std::fill(sectionOwner.begin(), sectionOwner.end(), -1);
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+            for (SegmentId s : occupiedSegments(i)) {
+                sectionOwner[static_cast<std::size_t>(sectionOf(s))] = static_cast<int>(i);
+            }
+        }
+    };
+
+    auto arrived = [&](std::size_t i) {
+        return headIndex[i] >= static_cast<int>(trains[i].route.size());
+    };
+
+    for (int step = 0; step < maxSteps; ++step) {
+        bool anyProgress = false;
+
+        // Departures: a train enters when its entry section is free. Like
+        // the SAT encoding, an entering train occupies its origin for the
+        // whole departure step and starts moving the step after.
+        std::vector<char> enteredThisStep(trains.size(), 0);
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+            if (headIndex[i] == -1 && trains[i].departureStep <= step) {
+                const SegmentId entry = trains[i].route.front();
+                const int section = sectionOf(entry);
+                if (sectionOwner[static_cast<std::size_t>(section)] < 0) {
+                    headIndex[i] = 0;
+                    enteredThisStep[i] = 1;
+                    recomputeOwners();
+                    anyProgress = true;
+                    if (trains[i].route.size() == 1) {
+                        // Origin and destination coincide: arrive on entry.
+                        result.arrivalStep[i] = step;
+                        headIndex[i] = 1;
+                        recomputeOwners();
+                    }
+                }
+            }
+        }
+
+        // Movements, in priority (index) order.
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+            if (headIndex[i] < 0 || arrived(i) || enteredThisStep[i] != 0) {
+                continue;
+            }
+            const auto& route = trains[i].route;
+            int advance = 0;
+            for (int k = 1; k <= trains[i].speedSegments; ++k) {
+                const int nextIndex = headIndex[i] + k;
+                if (nextIndex >= static_cast<int>(route.size())) {
+                    break;  // cannot move beyond the destination this step
+                }
+                const int section = sectionOf(route[static_cast<std::size_t>(nextIndex)]);
+                const int owner = sectionOwner[static_cast<std::size_t>(section)];
+                if (owner >= 0 && owner != static_cast<int>(i)) {
+                    break;  // movement authority ends at an occupied VSS
+                }
+                advance = k;
+            }
+            if (advance > 0) {
+                headIndex[i] += advance;
+                recomputeOwners();
+                anyProgress = true;
+            }
+            // Arrival: head on the destination segment -> leave the network.
+            if (headIndex[i] == static_cast<int>(route.size()) - 1) {
+                result.arrivalStep[i] = step;
+                headIndex[i] = static_cast<int>(route.size());
+                recomputeOwners();
+                anyProgress = true;
+            }
+        }
+
+        // Record the timeline after this step's movements.
+        std::vector<TrainSnapshot> snapshots(trains.size());
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+            snapshots[i].present = headIndex[i] >= 0 && !arrived(i);
+            snapshots[i].occupied = occupiedSegments(i);
+        }
+        result.timeline.push_back(std::move(snapshots));
+        result.stepsSimulated = step + 1;
+
+        const bool allArrived =
+            std::all_of(result.arrivalStep.begin(), result.arrivalStep.end(),
+                        [](int a) { return a >= 0; });
+        if (allArrived) {
+            result.completed = true;
+            return result;
+        }
+        const bool departuresPending = [&] {
+            for (std::size_t i = 0; i < trains.size(); ++i) {
+                if (headIndex[i] == -1 && trains[i].departureStep > step) {
+                    return true;
+                }
+            }
+            return false;
+        }();
+        if (!anyProgress && !departuresPending) {
+            result.deadlocked = true;
+            return result;
+        }
+    }
+    return result;
+}
+
+}  // namespace etcs::sim

@@ -1,0 +1,62 @@
+/// \file simulator.hpp
+/// A discrete-time ETCS Level 3 movement-authority simulator.
+///
+/// Trains follow fixed segment routes. Each time step, in priority order, a
+/// train extends its movement authority through consecutive VSS sections
+/// that contain no other train and advances its head by at most its speed.
+/// The simulator is deliberately independent of the SAT encoding: it serves
+/// as an oracle in tests (a greedy simulation that completes in time proves
+/// the corresponding verification instance satisfiable) and lets examples
+/// animate generated layouts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "railway/segment_graph.hpp"
+#include "util/ids.hpp"
+
+namespace etcs::sim {
+
+/// A train's route and discrete parameters for simulation.
+struct SimTrain {
+    TrainId train;
+    rail::SegmentPath route;  ///< head path from origin to destination segment
+    int departureStep = 0;    ///< step at which the train appears
+    int lengthSegments = 1;   ///< l*_tr
+    int speedSegments = 1;    ///< max head advance per step
+};
+
+/// Per-step snapshot of a train (for animation / debugging).
+struct TrainSnapshot {
+    bool present = false;
+    std::vector<SegmentId> occupied;  ///< head first
+};
+
+struct SimResult {
+    bool completed = false;      ///< all trains reached their destinations
+    bool deadlocked = false;     ///< no train can ever move again
+    int stepsSimulated = 0;      ///< steps executed (completion step when done)
+    std::vector<int> arrivalStep;  ///< per SimTrain; -1 when never arrived
+    std::vector<std::vector<TrainSnapshot>> timeline;  ///< [step][train]
+};
+
+class Simulator {
+public:
+    /// `borderByNode` selects the VSS layout (fixed borders are implied).
+    Simulator(const rail::SegmentGraph& graph, std::vector<bool> borderByNode);
+
+    /// Run until all trains arrive, deadlock, or `maxSteps` elapse.
+    [[nodiscard]] SimResult run(std::span<const SimTrain> trains, int maxSteps) const;
+
+    /// VSS section index of a segment under this simulator's layout.
+    [[nodiscard]] int sectionOf(SegmentId id) const { return sectionOfSegment_.at(id.get()); }
+    [[nodiscard]] int numSections() const noexcept { return numSections_; }
+
+private:
+    const rail::SegmentGraph* graph_;
+    std::vector<int> sectionOfSegment_;
+    int numSections_ = 0;
+};
+
+}  // namespace etcs::sim

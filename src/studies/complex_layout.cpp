@@ -1,0 +1,111 @@
+#include "studies/studies.hpp"
+
+namespace etcs::studies {
+
+using rail::Network;
+using rail::TimedStop;
+using rail::TrainRun;
+
+/// Fig. 4b: six stations connected in a partially meshed arrangement.
+///
+///          St5            St6
+///           |              |
+///   St1 -- St2 ---------- St3 -- St4
+///
+/// Each station has a two-track passing loop (12 TTDs); the five connecting
+/// single-track lines are cut into two TTD blocks each (10 TTDs): 22 total.
+CaseStudy complexLayout() {
+    CaseStudy study;
+    study.name = "Complex Layout";
+    study.resolution = Resolution{Meters::fromKilometers(1.0), Seconds::fromMinutes(3.0)};
+
+    Network network("complex_layout");
+    const Meters platform = Meters::fromKilometers(3.0);
+    const Meters halfLine = Meters::fromKilometers(9.0);
+
+    // Station loops: nodes uX (one throat) and dX (other throat).
+    struct StationNodes {
+        NodeId u;
+        NodeId d;
+        StationId station;
+    };
+    std::vector<StationNodes> stations;
+    for (int i = 1; i <= 6; ++i) {
+        const std::string id = std::to_string(i);
+        const auto u = network.addNode("u" + id);
+        const auto d = network.addNode("d" + id);
+        const auto main = network.addTrack("s" + id + "a", u, d, platform);
+        const auto loop = network.addTrack("s" + id + "b", u, d, platform);
+        network.addTtd("T_s" + id + "a", {main});
+        network.addTtd("T_s" + id + "b", {loop});
+        const auto station = network.addStation("St" + id, main, Meters(0));
+        network.addStation("St" + id + "loop", loop, Meters(0));
+        stations.push_back(StationNodes{u, d, station});
+    }
+
+    // Connecting lines, each split into two TTD blocks at a midpoint joint.
+    auto addLine = [&](const std::string& name, NodeId from, NodeId to) {
+        const auto mid = network.addNode("m" + name);
+        const auto first = network.addTrack("l" + name + "a", from, mid, halfLine);
+        const auto second = network.addTrack("l" + name + "b", mid, to, halfLine);
+        network.addTtd("T_l" + name + "a", {first});
+        network.addTtd("T_l" + name + "b", {second});
+    };
+    addLine("12", stations[0].d, stations[1].u);  // St1 -- St2
+    addLine("23", stations[1].d, stations[2].u);  // St2 -- St3
+    addLine("34", stations[2].d, stations[3].u);  // St3 -- St4 (freight spur)
+    addLine("25", stations[1].u, stations[4].d);  // St2 -- St5 (branch)
+    addLine("36", stations[2].u, stations[5].d);  // St3 -- St6 (branch)
+
+    study.network = std::move(network);
+
+    // Six trains. Two crossing pairs converge on the St2 hub with tight
+    // deadlines: four trains contend for its two 3 km platform tracks, so
+    // the pure TTD layout deadlocks while virtual subsections let two
+    // trains share one platform (the Fig. 1 mechanism at network scale).
+    // Two branch locals exercise the St5/St6 spurs after the crunch.
+    const auto a = study.trains.addTrain("IC-A", Speed::fromKmPerHour(120), Meters(300));
+    const auto b = study.trains.addTrain("IC-B", Speed::fromKmPerHour(120), Meters(300));
+    const auto e = study.trains.addTrain("IC-E", Speed::fromKmPerHour(120), Meters(600));
+    const auto f = study.trains.addTrain("IC-F", Speed::fromKmPerHour(120), Meters(600));
+    const auto c = study.trains.addTrain("Loc-C", Speed::fromKmPerHour(120), Meters(200));
+    const auto d = study.trains.addTrain("Loc-D", Speed::fromKmPerHour(120), Meters(200));
+
+    const StationId st1 = stations[0].station;
+    const StationId st2 = stations[1].station;
+    const StationId st3 = stations[2].station;
+    const StationId st5 = stations[4].station;
+    const StationId st6 = stations[5].station;
+
+    struct RunSpec {
+        TrainId train;
+        StationId from;
+        StationId to;
+        const char* dep;
+        const char* arr;
+    };
+    const RunSpec specs[] = {
+        {a, st1, st3, "0:00", "0:30"},  // eastbound leader
+        {b, st3, st1, "0:00", "0:30"},  // westbound leader (meets A at St2)
+        {e, st1, st3, "0:06", "0:36"},  // eastbound follower into the crunch
+        {f, st3, st1, "0:06", "0:36"},  // westbound follower into the crunch
+        {c, st5, st2, "0:24", "0:39"},  // branch local through the hub
+        {d, st6, st3, "0:27", "0:45"},  // branch local, after St3 clears
+    };
+    for (const RunSpec& spec : specs) {
+        TrainRun timed;
+        timed.train = spec.train;
+        timed.origin = spec.from;
+        timed.departure = Seconds::parse(spec.dep);
+        timed.stops.push_back(TimedStop{spec.to, Seconds::parse(spec.arr)});
+        study.timedSchedule.addRun(timed);
+
+        TrainRun open = timed;
+        open.stops.back().arrival.reset();
+        study.openSchedule.addRun(open);
+    }
+    study.openSchedule.setHorizon(study.timedSchedule.horizon());
+    return study;
+}
+
+}  // namespace etcs::studies

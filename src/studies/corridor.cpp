@@ -1,0 +1,81 @@
+#include "studies/studies.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace etcs::studies {
+
+using rail::Network;
+using rail::TimedStop;
+using rail::TrainRun;
+
+/// Parametric single-track corridor: `numStations` passing-loop stations
+/// joined by single-track line blocks of `stationSpacing`.  Trains alternate
+/// directions, departing in waves.  Used by the scaling benchmarks (S1) and
+/// the property tests.
+CaseStudy corridor(int numStations, int numTrains, Meters stationSpacing,
+                   Resolution resolution) {
+    ETCS_REQUIRE_MSG(numStations >= 2, "a corridor needs at least two stations");
+    ETCS_REQUIRE_MSG(numTrains >= 1, "a corridor needs at least one train");
+
+    CaseStudy study;
+    study.name = "Corridor-" + std::to_string(numStations) + "x" + std::to_string(numTrains);
+    study.resolution = resolution;
+
+    Network network("corridor");
+    const Meters loopLength = resolution.spatial;  // one-segment platforms
+
+    std::vector<StationId> stations;
+    NodeId cursor = network.addNode("w0");
+    for (int i = 0; i < numStations; ++i) {
+        const std::string id = std::to_string(i);
+        const NodeId out = network.addNode("e" + id);
+        const TrackId main = network.addTrack("s" + id + "a", cursor, out, loopLength);
+        const TrackId loop = network.addTrack("s" + id + "b", cursor, out, loopLength);
+        network.addTtd("T_s" + id + "a", {main});
+        network.addTtd("T_s" + id + "b", {loop});
+        stations.push_back(network.addStation("St" + id, main, Meters(0)));
+        network.addStation("St" + id + "loop", loop, Meters(0));
+        cursor = out;
+        if (i + 1 < numStations) {
+            const NodeId next = network.addNode("w" + std::to_string(i + 1));
+            const TrackId line = network.addTrack("l" + id, cursor, next, stationSpacing);
+            network.addTtd("T_l" + id, {line});
+            cursor = next;
+        }
+    }
+    study.network = std::move(network);
+
+    // Travel-time estimate for generous arrival deadlines: every crossing or
+    // overtaking can cost up to a full corridor traversal, so each train gets
+    // one extra traversal of slack per opposing train plus wave staggering.
+    const Speed speed = Speed::fromKmPerHour(120);
+    const std::int64_t corridorMeters =
+        (numStations - 1) * stationSpacing.count() + numStations * loopLength.count();
+    const std::int64_t travelSeconds = corridorMeters * 3600 / speed.metresPerHour();
+    const std::int64_t waveGap = 2 * resolution.temporal.count();
+
+    for (int i = 0; i < numTrains; ++i) {
+        const bool eastbound = (i % 2 == 0);
+        const TrainId train = study.trains.addTrain("Tr" + std::to_string(i), speed, Meters(150));
+        TrainRun timed;
+        timed.train = train;
+        timed.origin = eastbound ? stations.front() : stations.back();
+        timed.departure = Seconds((i / 2) * waveGap);
+        const Seconds arrival = Seconds(timed.departure.count() +
+                                        (1 + numTrains) * travelSeconds +
+                                        numTrains * waveGap);
+        timed.stops.push_back(
+            TimedStop{eastbound ? stations.back() : stations.front(), arrival});
+        study.timedSchedule.addRun(timed);
+
+        TrainRun open = timed;
+        open.stops.back().arrival.reset();
+        study.openSchedule.addRun(open);
+    }
+    study.openSchedule.setHorizon(study.timedSchedule.horizon());
+    return study;
+}
+
+}  // namespace etcs::studies

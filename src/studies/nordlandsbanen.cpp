@@ -1,0 +1,131 @@
+#include "studies/studies.hpp"
+
+#include <string>
+
+namespace etcs::studies {
+
+using rail::Network;
+using rail::TimedStop;
+using rail::TrainRun;
+
+/// Real-life example inspired by the Nordlandsbanen (Trondheim--Bodo):
+/// 58 stations spread over 822 km of single track.  Ten of the stations are
+/// crossing stations with two-track passing loops (2 TTDs each); the 31
+/// single-track line blocks between/around them make up the rest:
+/// 20 + 31 = 51 TTD sections.  The remaining simple halts sit directly on
+/// the line blocks.
+///
+/// The scenario sends two day-train pairs towards each other, each pair
+/// running ten minutes apart.  The pairs meet around the middle of the
+/// line: with tight deadlines the trailing train of each pair has to tuck
+/// into the same passing loop as its leader while the opposing pair sweeps
+/// by -- possible only when a virtual subsection splits the loop track.  A
+/// slow freight rounds off the northern end.
+///
+/// The published model's exact geometry is unavailable; this reconstruction
+/// follows the paper's headline figures (58 stations, 822 km, r_t = 5 min,
+/// r_s = 5 km, 48 time steps) -- see DESIGN.md section 3.
+CaseStudy nordlandsbanen() {
+    CaseStudy study;
+    study.name = "Nordlandsbanen";
+    study.resolution = Resolution{Meters::fromKilometers(5.0), Seconds::fromMinutes(5.0)};
+
+    Network network("nordlandsbanen");
+    const Meters loopLength = Meters::fromKilometers(10.0);
+
+    // 10 crossing stations split the line into 11 long blocks; the blocks
+    // are themselves divided into 31 line TTDs of roughly 26 km.
+    constexpr int kCrossings = 10;
+    constexpr int kLineTtds = 31;
+    constexpr int kBlocks = kCrossings + 1;
+    const std::int64_t lineMeters = 822000 - kCrossings * loopLength.count();
+    int ttdsPerBlock[kBlocks];
+    for (int i = 0; i < kBlocks; ++i) {
+        ttdsPerBlock[i] = kLineTtds / kBlocks + (i < kLineTtds % kBlocks ? 1 : 0);
+    }
+
+    std::vector<TrackId> lineTracks;  // for placing simple halts
+    NodeId cursor = network.addNode("Trondheim");
+    int lineIndex = 0;
+    const std::int64_t metersPerLineTtd = lineMeters / kLineTtds;
+    for (int block = 0; block < kBlocks; ++block) {
+        for (int piece = 0; piece < ttdsPerBlock[block]; ++piece) {
+            const std::string id = "line" + std::to_string(lineIndex);
+            const bool last = (block == kBlocks - 1) && (piece == ttdsPerBlock[block] - 1);
+            const std::int64_t length =
+                last ? lineMeters - metersPerLineTtd * (kLineTtds - 1) : metersPerLineTtd;
+            const NodeId next = network.addNode("j" + std::to_string(lineIndex));
+            const TrackId track = network.addTrack(id, cursor, next, Meters(length));
+            network.addTtd("T_" + id, {track});
+            lineTracks.push_back(track);
+            cursor = next;
+            ++lineIndex;
+        }
+        if (block < kCrossings) {
+            const std::string id = "x" + std::to_string(block);
+            const NodeId out = network.addNode("n_" + id);
+            const TrackId main = network.addTrack(id + "a", cursor, out, loopLength);
+            const TrackId loop = network.addTrack(id + "b", cursor, out, loopLength);
+            network.addTtd("T_" + id + "a", {main});
+            network.addTtd("T_" + id + "b", {loop});
+            network.addStation("X" + std::to_string(block + 1), main, Meters(0));
+            network.addStation("X" + std::to_string(block + 1) + "loop", loop, Meters(0));
+            cursor = out;
+        }
+    }
+
+    // 58 numbered halts spread along the line blocks.
+    for (int halt = 0; halt < 58; ++halt) {
+        const std::size_t track = (static_cast<std::size_t>(halt) * lineTracks.size()) / 58;
+        const std::string name =
+            "St" + std::string(halt < 9 ? "0" : "") + std::to_string(halt + 1);
+        network.addStation(name, lineTracks[track], Meters(0));
+    }
+
+    study.network = std::move(network);
+
+    const auto dn = study.trains.addTrain("Day-North", Speed::fromKmPerHour(180), Meters(250));
+    const auto ds = study.trains.addTrain("Day-South", Speed::fromKmPerHour(180), Meters(250));
+    const auto rn = study.trains.addTrain("Rel-North", Speed::fromKmPerHour(180), Meters(150));
+    const auto rs = study.trains.addTrain("Rel-South", Speed::fromKmPerHour(180), Meters(150));
+    const auto fn = study.trains.addTrain("Frt-North", Speed::fromKmPerHour(90), Meters(450));
+
+    const StationId st01 = *study.network.findStation("St01");
+    const StationId st58 = *study.network.findStation("St58");
+    const StationId st36 = *study.network.findStation("St36");
+    const StationId st22 = *study.network.findStation("St22");
+    const StationId st08 = *study.network.findStation("St08");
+
+    struct RunSpec {
+        TrainId train;
+        StationId from;
+        StationId to;
+        const char* dep;
+        const char* arr;
+    };
+    const RunSpec specs[] = {
+        {dn, st01, st36, "0:00", "3:05"},  // northbound day train past the middle
+        {ds, st58, st22, "0:00", "3:20"},  // southbound day train past the middle
+        {rn, st01, st36, "0:10", "3:25"},  // relief train ten minutes behind
+        {rs, st58, st22, "0:10", "3:40"},  // relief train ten minutes behind
+        {fn, st01, st08, "0:40", "2:45"},  // slow freight on the northern end
+    };
+    for (const RunSpec& spec : specs) {
+        TrainRun timed;
+        timed.train = spec.train;
+        timed.origin = spec.from;
+        timed.departure = Seconds::parse(spec.dep);
+        timed.stops.push_back(TimedStop{spec.to, Seconds::parse(spec.arr)});
+        study.timedSchedule.addRun(timed);
+
+        TrainRun open = timed;
+        open.stops.back().arrival.reset();
+        study.openSchedule.addRun(open);
+    }
+    // The paper considers the Nordlandsbanen scenario over 48 time steps.
+    study.timedSchedule.setHorizon(Seconds::parse("3:55"));
+    study.openSchedule.setHorizon(Seconds::parse("3:55"));
+    return study;
+}
+
+}  // namespace etcs::studies

@@ -1,0 +1,75 @@
+#include "studies/studies.hpp"
+
+namespace etcs::studies {
+
+using rail::Network;
+using rail::TrainRun;
+
+/// The running example of Fig. 1:
+///
+///   A ===TTD1=== S1 ===TTD2(main)=== S2 ===TTD4=== B
+///                 \\===TTD3(side, station C)===//
+///
+/// Four TTD sections; the side track through the passing area carries
+/// station C.  The schedule of Fig. 1b deadlocks on the pure TTD layout
+/// (after all four trains have departed, all four TTDs are blocked), works
+/// with a single additional virtual border on the side track, and completes
+/// considerably faster with a richer VSS layout (Fig. 2).
+CaseStudy runningExample() {
+    CaseStudy study;
+    study.name = "Running Example";
+    study.resolution = Resolution{Meters::fromKilometers(0.5), Seconds::fromMinutes(0.5)};
+
+    Network network("running_example");
+    const auto a = network.addNode("A");
+    const auto s1 = network.addNode("S1");
+    const auto s2 = network.addNode("S2");
+    const auto b = network.addNode("B");
+
+    const auto entry = network.addTrack("entry", a, s1, Meters::fromKilometers(1.5));
+    const auto main = network.addTrack("main", s1, s2, Meters::fromKilometers(1.0));
+    const auto side = network.addTrack("side", s1, s2, Meters::fromKilometers(1.0));
+    const auto exit = network.addTrack("exit", s2, b, Meters::fromKilometers(2.0));
+
+    network.addTtd("TTD1", {entry});
+    network.addTtd("TTD2", {main});
+    network.addTtd("TTD3", {side});
+    network.addTtd("TTD4", {exit});
+
+    const auto stationA = network.addStation("StA", entry, Meters(0));
+    const auto stationB = network.addStation("StB", exit, Meters::fromKilometers(2.0));
+    const auto stationC = network.addStation("StC", side, Meters(0));
+    study.network = std::move(network);
+
+    // Fig. 1b: Train | Start | Goal | Speed | Length | Departure | Arrival
+    const auto t1 = study.trains.addTrain("Train1", Speed::fromKmPerHour(180), Meters(400));
+    const auto t2 = study.trains.addTrain("Train2", Speed::fromKmPerHour(120), Meters(700));
+    const auto t3 = study.trains.addTrain("Train3", Speed::fromKmPerHour(120), Meters(100));
+    const auto t4 = study.trains.addTrain("Train4", Speed::fromKmPerHour(180), Meters(250));
+
+    auto makeRun = [](TrainId train, StationId from, StationId to, const char* dep,
+                      const char* arr) {
+        TrainRun run;
+        run.train = train;
+        run.origin = from;
+        run.departure = Seconds::parse(dep);
+        run.stops.push_back(rail::TimedStop{
+            to, arr == nullptr ? std::nullopt : std::optional(Seconds::parse(arr))});
+        return run;
+    };
+
+    study.timedSchedule.addRun(makeRun(t1, stationA, stationB, "0:00", "0:04:30"));
+    study.timedSchedule.addRun(makeRun(t2, stationB, stationA, "0:00", "0:04:00"));
+    study.timedSchedule.addRun(makeRun(t3, stationA, stationC, "0:01", "0:03:00"));
+    study.timedSchedule.addRun(makeRun(t4, stationB, stationA, "0:01", "0:05:00"));
+
+    study.openSchedule.addRun(makeRun(t1, stationA, stationB, "0:00", nullptr));
+    study.openSchedule.addRun(makeRun(t2, stationB, stationA, "0:00", nullptr));
+    study.openSchedule.addRun(makeRun(t3, stationA, stationC, "0:01", nullptr));
+    study.openSchedule.addRun(makeRun(t4, stationB, stationA, "0:01", nullptr));
+    study.openSchedule.setHorizon(study.timedSchedule.horizon());
+
+    return study;
+}
+
+}  // namespace etcs::studies

@@ -1,0 +1,102 @@
+#include "studies/studies.hpp"
+
+namespace etcs::studies {
+
+using rail::Network;
+using rail::TimedStop;
+using rail::TrainRun;
+
+/// Fig. 4a: three stations stacked on one single-track line.
+///
+///   (St1)  u1 =s1a/s1b= d1   -- l1a -- m1 -- l1b --   u2 =s2a/s2b= d2
+///          -- l2a -- m2 -- l2b --   u3 =s3a/s3b= d3  (St3)
+///
+/// Every station has two parallel platform tracks (its passing loop); the
+/// connecting single-track lines are cut into two TTD blocks each by an
+/// axle counter at their midpoint: 3*2 + 2*2 = 10 TTD sections.
+CaseStudy simpleLayout() {
+    CaseStudy study;
+    study.name = "Simple Layout";
+    study.resolution = Resolution{Meters::fromKilometers(0.5), Seconds::fromMinutes(1.0)};
+
+    Network network("simple_layout");
+    const auto u1 = network.addNode("u1");
+    const auto d1 = network.addNode("d1");
+    const auto m1 = network.addNode("m1");
+    const auto u2 = network.addNode("u2");
+    const auto d2 = network.addNode("d2");
+    const auto m2 = network.addNode("m2");
+    const auto u3 = network.addNode("u3");
+    const auto d3 = network.addNode("d3");
+
+    const Meters platform = Meters::fromKilometers(1.5);
+    const Meters halfLine = Meters::fromKilometers(4.0);
+
+    const auto s1a = network.addTrack("s1a", u1, d1, platform);
+    const auto s1b = network.addTrack("s1b", u1, d1, platform);
+    const auto l1a = network.addTrack("l1a", d1, m1, halfLine);
+    const auto l1b = network.addTrack("l1b", m1, u2, halfLine);
+    const auto s2a = network.addTrack("s2a", u2, d2, platform);
+    const auto s2b = network.addTrack("s2b", u2, d2, platform);
+    const auto l2a = network.addTrack("l2a", d2, m2, halfLine);
+    const auto l2b = network.addTrack("l2b", m2, u3, halfLine);
+    const auto s3a = network.addTrack("s3a", u3, d3, platform);
+    const auto s3b = network.addTrack("s3b", u3, d3, platform);
+
+    for (const auto& [name, track] :
+         {std::pair{"T_s1a", s1a}, {"T_s1b", s1b}, {"T_l1a", l1a}, {"T_l1b", l1b},
+          {"T_s2a", s2a}, {"T_s2b", s2b}, {"T_l2a", l2a}, {"T_l2b", l2b},
+          {"T_s3a", s3a}, {"T_s3b", s3b}}) {
+        network.addTtd(name, {track});
+    }
+
+    const auto st1 = network.addStation("St1", s1a, Meters(0));
+    const auto st1Loop = network.addStation("St1loop", s1b, Meters(0));
+    const auto st2 = network.addStation("St2", s2a, Meters(0));
+    const auto st2Loop = network.addStation("St2loop", s2b, Meters(0));
+    const auto st3 = network.addStation("St3", s3a, Meters(0));
+    const auto st3Loop = network.addStation("St3loop", s3b, Meters(0));
+    (void)st1Loop;
+    (void)st3Loop;
+    (void)st2Loop;
+    study.network = std::move(network);
+
+    // Two southbound and two northbound trains whose meet overloads the
+    // two-platform middle station (four trains, two platform tracks), plus a
+    // trailing local. Virtual subsections inside the 1.5 km platforms let
+    // two trains share one platform track, which the pure TTD layout cannot.
+    const auto a = study.trains.addTrain("IC-A", Speed::fromKmPerHour(120), Meters(200));
+    const auto b = study.trains.addTrain("IC-B", Speed::fromKmPerHour(120), Meters(200));
+    const auto c = study.trains.addTrain("IC-C", Speed::fromKmPerHour(120), Meters(400));
+    const auto d = study.trains.addTrain("IC-D", Speed::fromKmPerHour(120), Meters(200));
+    const auto e = study.trains.addTrain("Local-E", Speed::fromKmPerHour(120), Meters(100));
+
+    struct RunSpec {
+        TrainId train;
+        StationId from;
+        StationId to;
+        const char* dep;
+        const char* arr;
+    };
+    const RunSpec specs[] = {
+        {a, st1, st3, "0:00", "0:12"}, {b, st1, st3, "0:02", "0:14"},
+        {c, st3, st1, "0:00", "0:12"}, {d, st3, st1, "0:02", "0:14"},
+        {e, st2, st1, "0:11", "0:18"},
+    };
+    for (const RunSpec& spec : specs) {
+        TrainRun timed;
+        timed.train = spec.train;
+        timed.origin = spec.from;
+        timed.departure = Seconds::parse(spec.dep);
+        timed.stops.push_back(TimedStop{spec.to, Seconds::parse(spec.arr)});
+        study.timedSchedule.addRun(timed);
+
+        TrainRun open = timed;
+        open.stops.back().arrival.reset();
+        study.openSchedule.addRun(open);
+    }
+    study.openSchedule.setHorizon(study.timedSchedule.horizon());
+    return study;
+}
+
+}  // namespace etcs::studies

@@ -1,0 +1,53 @@
+/// \file studies.hpp
+/// The paper's four case-study networks and schedules (Sec. IV), plus a
+/// parametric corridor generator for scaling experiments.
+///
+/// The exact geometry of the paper's networks is unpublished; these are
+/// reconstructions from the figures and prose that preserve the qualitative
+/// behaviour of Table I (see DESIGN.md §3 and EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+
+#include "railway/network.hpp"
+#include "railway/schedule.hpp"
+#include "railway/train.hpp"
+#include "util/units.hpp"
+
+namespace etcs::studies {
+
+/// A self-contained scenario: network, trains, and the schedule in both its
+/// fully timed form (verification/generation tasks) and its open form with
+/// arrivals released (optimization task).
+struct CaseStudy {
+    std::string name;
+    rail::Network network;
+    rail::TrainSet trains;
+    rail::Schedule timedSchedule;  ///< all arrivals pinned (Fig. 1b style)
+    rail::Schedule openSchedule;   ///< departures only; horizon = timed horizon
+    Resolution resolution;         ///< the (r_t, r_s) pair used in Table I
+};
+
+/// Fig. 1/2/3: two stations A and B joined by a 4-TTD line with a passing
+/// area holding station C; four trains (r_t = 0.5 min, r_s = 0.5 km).
+[[nodiscard]] CaseStudy runningExample();
+
+/// Fig. 4a: three stations stacked vertically, 10 TTDs
+/// (r_t = 1 min, r_s = 0.5 km).
+[[nodiscard]] CaseStudy simpleLayout();
+
+/// Fig. 4b: six stations connected in a partially meshed arrangement,
+/// 22 TTDs (r_t = 3 min, r_s = 1 km).
+[[nodiscard]] CaseStudy complexLayout();
+
+/// Real-life example inspired by the Norwegian Nordlandsbanen
+/// (Trondheim--Bodo): 58 stations over 822 km of single track with passing
+/// loops (r_t = 5 min, r_s = 5 km).
+[[nodiscard]] CaseStudy nordlandsbanen();
+
+/// Parametric single-track corridor with `numStations` passing-loop stations
+/// and `numTrains` alternating-direction trains, for scaling studies.
+[[nodiscard]] CaseStudy corridor(int numStations, int numTrains, Meters stationSpacing,
+                                 Resolution resolution);
+
+}  // namespace etcs::studies

@@ -1,0 +1,61 @@
+/// \file error.hpp
+/// Error types and precondition checking for the etcs-vss library.
+///
+/// All recoverable failures are reported as exceptions derived from
+/// etcs::Error.  Precondition violations (programming errors at API
+/// boundaries) use ETCS_REQUIRE which throws etcs::PreconditionError with the
+/// violated condition and its source location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace etcs {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Input data (network/schedule files, malformed models, ...) is invalid.
+class InputError : public Error {
+public:
+    using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throwPrecondition(const char* condition, const char* file, int line,
+                                           const std::string& message) {
+    std::string what = std::string("precondition failed: ") + condition + " at " + file + ":" +
+                       std::to_string(line);
+    if (!message.empty()) {
+        what += " (" + message + ")";
+    }
+    throw PreconditionError(what);
+}
+}  // namespace detail
+
+}  // namespace etcs
+
+/// Check a precondition; throws etcs::PreconditionError when violated.
+#define ETCS_REQUIRE(cond)                                                        \
+    do {                                                                          \
+        if (!(cond)) {                                                            \
+            ::etcs::detail::throwPrecondition(#cond, __FILE__, __LINE__, "");     \
+        }                                                                         \
+    } while (false)
+
+/// Check a precondition with an explanatory message.
+#define ETCS_REQUIRE_MSG(cond, msg)                                               \
+    do {                                                                          \
+        if (!(cond)) {                                                            \
+            ::etcs::detail::throwPrecondition(#cond, __FILE__, __LINE__, (msg));  \
+        }                                                                         \
+    } while (false)

@@ -1,0 +1,85 @@
+/// \file ids.hpp
+/// Strongly typed index identifiers.
+///
+/// Raw integer indices invite mixing up, say, a node index with a segment
+/// index.  Id<Tag> is a zero-overhead wrapper that makes each index space a
+/// distinct type while still being usable as a vector index via get().
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace etcs {
+
+/// A strongly typed integer identifier. Tag is an empty struct naming the
+/// index space. Default-constructed ids are invalid.
+template <typename Tag>
+class Id {
+public:
+    using underlying_type = std::uint32_t;
+    static constexpr underlying_type kInvalid = std::numeric_limits<underlying_type>::max();
+
+    constexpr Id() noexcept = default;
+    constexpr explicit Id(underlying_type value) noexcept : value_(value) {}
+    constexpr explicit Id(std::size_t value) noexcept
+        : value_(static_cast<underlying_type>(value)) {}
+
+    [[nodiscard]] constexpr underlying_type get() const noexcept { return value_; }
+    [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+    friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+    /// Advance to the next id in the index space (useful for iteration).
+    constexpr Id& operator++() noexcept {
+        ++value_;
+        return *this;
+    }
+
+private:
+    underlying_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+    if (id.valid()) {
+        return os << id.get();
+    }
+    return os << "<invalid>";
+}
+
+// Index spaces used across the library.
+struct NodeTag {};
+struct TrackTag {};
+struct TtdTag {};
+struct StationTag {};
+struct SegmentTag {};
+struct SegNodeTag {};
+struct TrainTag {};
+
+/// A connection point in the physical network (endpoint, switch, joint).
+using NodeId = Id<NodeTag>;
+/// A physical track between two nodes.
+using TrackId = Id<TrackTag>;
+/// A trackside-train-detection section (a set of tracks).
+using TtdId = Id<TtdTag>;
+/// A named station position on a track.
+using StationId = Id<StationTag>;
+/// A segment (edge) of the discretized graph; the paper's e in E.
+using SegmentId = Id<SegmentTag>;
+/// A node of the discretized graph; the paper's v in V (candidate VSS border).
+using SegNodeId = Id<SegNodeTag>;
+/// A train.
+using TrainId = Id<TrainTag>;
+
+}  // namespace etcs
+
+template <typename Tag>
+struct std::hash<etcs::Id<Tag>> {
+    std::size_t operator()(etcs::Id<Tag> id) const noexcept {
+        return std::hash<typename etcs::Id<Tag>::underlying_type>{}(id.get());
+    }
+};

@@ -1,0 +1,101 @@
+// At-most-one / exactly-one encodings: all four encodings must accept every
+// assignment with <= 1 (== 1) true input and reject everything else.
+#include <gtest/gtest.h>
+
+#include "cnf/amo.hpp"
+#include "util/error.hpp"
+#include "cnf/backend.hpp"
+
+namespace etcs::cnf {
+namespace {
+
+std::vector<Literal> makeInputs(SatBackend& backend, int n) {
+    std::vector<Literal> inputs;
+    for (int i = 0; i < n; ++i) {
+        inputs.push_back(Literal::positive(backend.addVariable()));
+    }
+    return inputs;
+}
+
+std::vector<Literal> assignmentAssumptions(const std::vector<Literal>& inputs,
+                                           std::uint32_t bits) {
+    std::vector<Literal> assumptions;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        assumptions.push_back(((bits >> i) & 1u) != 0 ? inputs[i] : ~inputs[i]);
+    }
+    return assumptions;
+}
+
+using AmoCase = std::tuple<AmoEncoding, int>;
+
+class AmoEncodingTest : public ::testing::TestWithParam<AmoCase> {};
+
+TEST_P(AmoEncodingTest, AtMostOneAcceptsExactlyTheRightAssignments) {
+    const auto [encoding, n] = GetParam();
+    const auto backend = makeInternalBackend();
+    const auto inputs = makeInputs(*backend, n);
+    addAtMostOne(*backend, inputs, encoding);
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+        const int trueCount = __builtin_popcount(bits);
+        const auto assumptions = assignmentAssumptions(inputs, bits);
+        const bool expected = trueCount <= 1;
+        EXPECT_EQ(backend->solve(assumptions) == SolveStatus::Sat, expected)
+            << toString(encoding) << " n=" << n << " bits=" << bits;
+    }
+}
+
+TEST_P(AmoEncodingTest, ExactlyOneAcceptsExactlyTheRightAssignments) {
+    const auto [encoding, n] = GetParam();
+    const auto backend = makeInternalBackend();
+    const auto inputs = makeInputs(*backend, n);
+    addExactlyOne(*backend, inputs, encoding);
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+        const int trueCount = __builtin_popcount(bits);
+        const auto assumptions = assignmentAssumptions(inputs, bits);
+        EXPECT_EQ(backend->solve(assumptions) == SolveStatus::Sat, trueCount == 1)
+            << toString(encoding) << " n=" << n << " bits=" << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodingsAndSizes, AmoEncodingTest,
+    ::testing::Combine(::testing::Values(AmoEncoding::Pairwise, AmoEncoding::Sequential,
+                                         AmoEncoding::Commander, AmoEncoding::Product),
+                       ::testing::Values(1, 2, 3, 4, 5, 7, 9, 12)),
+    [](const ::testing::TestParamInfo<AmoCase>& info) {
+        return std::string(toString(std::get<0>(info.param))) + "_n" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(AmoEncoding, EmptyAndSingletonAreNoOps) {
+    const auto backend = makeInternalBackend();
+    const auto inputs = makeInputs(*backend, 1);
+    addAtMostOne(*backend, {}, AmoEncoding::Sequential);
+    addAtMostOne(*backend, inputs, AmoEncoding::Sequential);
+    EXPECT_EQ(backend->numClauses(), 0u);
+    EXPECT_EQ(backend->solve({inputs[0]}), SolveStatus::Sat);
+}
+
+TEST(AmoEncoding, ExactlyOneOverEmptySetIsRejected) {
+    const auto backend = makeInternalBackend();
+    EXPECT_THROW(addExactlyOne(*backend, {}, AmoEncoding::Pairwise), PreconditionError);
+}
+
+TEST(AmoEncoding, PairwiseAddsNoAuxiliaryVariables) {
+    const auto backend = makeInternalBackend();
+    const auto inputs = makeInputs(*backend, 6);
+    const int before = backend->numVariables();
+    addAtMostOne(*backend, inputs, AmoEncoding::Pairwise);
+    EXPECT_EQ(backend->numVariables(), before);
+    EXPECT_EQ(backend->numClauses(), 15u);  // C(6, 2)
+}
+
+TEST(AmoEncoding, SequentialIsLinearInClauses) {
+    const auto backend = makeInternalBackend();
+    const auto inputs = makeInputs(*backend, 40);
+    addAtMostOne(*backend, inputs, AmoEncoding::Sequential);
+    EXPECT_LT(backend->numClauses(), 3u * 40u + 5u);
+}
+
+}  // namespace
+}  // namespace etcs::cnf

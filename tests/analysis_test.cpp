@@ -1,0 +1,239 @@
+// Tests for the design-space analyses: trade-off curves, delay robustness,
+// and cost-weighted layout generation.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/validator.hpp"
+#include "studies/studies.hpp"
+
+namespace etcs::core {
+namespace {
+
+struct AnalysisFixture : ::testing::Test {
+    studies::CaseStudy study = studies::runningExample();
+    Instance timed{study.network, study.trains, study.timedSchedule, study.resolution};
+    Instance open{study.network, study.trains, study.openSchedule, study.resolution};
+};
+
+TEST_F(AnalysisFixture, TradeoffCurveIsMonotoneNonIncreasing) {
+    const auto curve = tradeoffCurve(open, 5);
+    ASSERT_GE(curve.size(), 2u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        if (curve[i - 1].feasible) {
+            ASSERT_TRUE(curve[i].feasible) << "feasibility must be monotone in the budget";
+            EXPECT_LE(curve[i].completionSteps, curve[i - 1].completionSteps);
+        }
+    }
+}
+
+TEST_F(AnalysisFixture, TradeoffCurveEndpointsMatchBaseTasks) {
+    const auto curve = tradeoffCurve(open, 8);
+    // Budget 0 = pure TTD layout: must match optimizeScheduleOnLayout.
+    const VssLayout pure(open.graph());
+    const auto onPure = optimizeScheduleOnLayout(open, pure);
+    ASSERT_FALSE(curve.empty());
+    EXPECT_EQ(curve.front().feasible, onPure.feasible);
+    if (onPure.feasible) {
+        EXPECT_EQ(curve.front().completionSteps, onPure.completionSteps);
+    }
+    // Large budget: must match the unconstrained optimization.
+    const auto free = optimizeSchedule(open);
+    ASSERT_TRUE(free.feasible);
+    const auto& last = curve.back();
+    ASSERT_TRUE(last.feasible);
+    EXPECT_EQ(last.completionSteps, free.completionSteps);
+}
+
+TEST_F(AnalysisFixture, TradeoffSectionCountRespectsBudget) {
+    const auto curve = tradeoffCurve(open, 4);
+    const int ttdSections = VssLayout(open.graph()).sectionCount(open.graph());
+    for (const auto& point : curve) {
+        if (point.feasible) {
+            EXPECT_LE(point.sectionCount, ttdSections + point.extraBorders);
+        }
+    }
+}
+
+TEST_F(AnalysisFixture, RobustnessOnGeneratedLayout) {
+    const auto generation = generateLayout(timed);
+    ASSERT_TRUE(generation.feasible);
+    const auto report = delayRobustness(timed, generation.solution->layout, 3);
+    ASSERT_EQ(report.feasible.size(), timed.numRuns());
+    ASSERT_EQ(report.toleranceSteps.size(), timed.numRuns());
+    for (std::size_t r = 0; r < timed.numRuns(); ++r) {
+        ASSERT_EQ(report.feasible[r].size(), 3u);
+        // Tolerance is consistent with the feasibility prefix.
+        int prefix = 0;
+        while (prefix < 3 && report.feasible[r][static_cast<std::size_t>(prefix)]) {
+            ++prefix;
+        }
+        EXPECT_EQ(report.toleranceSteps[r], prefix);
+    }
+}
+
+TEST_F(AnalysisFixture, RobustnessOnFinestLayoutIsNoWorse) {
+    const auto generation = generateLayout(timed);
+    ASSERT_TRUE(generation.feasible);
+    const auto onGenerated = delayRobustness(timed, generation.solution->layout, 2);
+    const auto onFinest = delayRobustness(timed, VssLayout::finest(timed.graph()), 2);
+    for (std::size_t r = 0; r < timed.numRuns(); ++r) {
+        EXPECT_GE(onFinest.toleranceSteps[r], onGenerated.toleranceSteps[r]);
+    }
+}
+
+TEST_F(AnalysisFixture, RobustnessWithoutArrivalShiftIsTighter) {
+    // Keeping original deadlines while departing late can only be harder.
+    const auto finest = VssLayout::finest(timed.graph());
+    const auto shifted = delayRobustness(timed, finest, 2, /*shiftArrivals=*/true);
+    const auto strict = delayRobustness(timed, finest, 2, /*shiftArrivals=*/false);
+    for (std::size_t r = 0; r < timed.numRuns(); ++r) {
+        EXPECT_LE(strict.toleranceSteps[r], shifted.toleranceSteps[r]);
+    }
+}
+
+TEST_F(AnalysisFixture, WeightedGenerationWithUniformCostsMatchesPlain) {
+    const auto plain = generateLayout(timed);
+    const auto weighted = generateLayoutWeighted(timed, [](SegNodeId) { return 1; });
+    ASSERT_TRUE(plain.feasible);
+    ASSERT_TRUE(weighted.feasible);
+    EXPECT_EQ(weighted.sectionCount, plain.sectionCount);
+    EXPECT_TRUE(validateSolution(timed, *weighted.solution).empty());
+}
+
+TEST_F(AnalysisFixture, WeightedGenerationAvoidsExpensiveBorders) {
+    // Make the border the plain generator picks (on the side track)
+    // expensive; the weighted generator must place cheaper borders instead
+    // (possibly more of them) or pay up -- either way total cost <= plain
+    // plan's cost under the same weights.
+    const auto plain = generateLayout(timed);
+    ASSERT_TRUE(plain.feasible);
+    const auto& graph = timed.graph();
+    // Identify the plain solution's virtual borders.
+    std::vector<bool> plainBorders = plain.solution->layout.flags();
+    auto cost = [&](SegNodeId node) { return plainBorders[node.get()] ? 10 : 1; };
+    const auto weighted = generateLayoutWeighted(timed, cost);
+    ASSERT_TRUE(weighted.feasible);
+    EXPECT_TRUE(validateSolution(timed, *weighted.solution).empty());
+    int weightedCost = 0;
+    int plainCost = 0;
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        if (graph.node(SegNodeId(n)).fixedBorder) {
+            continue;
+        }
+        if (weighted.solution->layout.flags()[n]) {
+            weightedCost += cost(SegNodeId(n));
+        }
+        if (plainBorders[n]) {
+            plainCost += cost(SegNodeId(n));
+        }
+    }
+    EXPECT_LE(weightedCost, plainCost);
+}
+
+TEST_F(AnalysisFixture, WeightedGenerationRejectsNonPositiveCosts) {
+    EXPECT_THROW((void)generateLayoutWeighted(timed, [](SegNodeId) { return 0; }),
+                 PreconditionError);
+}
+
+TEST_F(AnalysisFixture, TradeoffRejectsNegativeBudget) {
+    EXPECT_THROW((void)tradeoffCurve(open, -1), PreconditionError);
+}
+
+TEST_F(AnalysisFixture, RobustnessRequiresTimedSchedule) {
+    const VssLayout pure(open.graph());
+    EXPECT_THROW((void)delayRobustness(open, pure, 2), PreconditionError);
+}
+
+TEST_F(AnalysisFixture, SlackOnFinestLayoutMatchesPhysicalBounds) {
+    const auto finest = VssLayout::finest(timed.graph());
+    const auto report = scheduleSlack(timed, finest);
+    ASSERT_EQ(report.slackSteps.size(), timed.numRuns());
+    for (std::size_t r = 0; r < timed.numRuns(); ++r) {
+        // The schedule is feasible on the finest layout, so every run gets a
+        // tightest arrival, bounded below by its unimpeded travel time.
+        ASSERT_GE(report.tightestArrivalStep[r], 0);
+        const auto& run = timed.runs()[r];
+        const int travel = timed.segmentDistance(run.originSegment,
+                                                 run.destination().segment);
+        const int bound = run.departureStep +
+                          (travel + run.speedSegments - 1) / run.speedSegments;
+        EXPECT_GE(report.tightestArrivalStep[r], bound);
+        EXPECT_LE(report.tightestArrivalStep[r], *run.destination().arrivalStep);
+        EXPECT_EQ(report.slackSteps[r],
+                  *run.destination().arrivalStep - report.tightestArrivalStep[r]);
+    }
+}
+
+TEST_F(AnalysisFixture, SlackTightenedScheduleStaysFeasible) {
+    // Re-verify with one run's arrival replaced by its tightest value.
+    const auto finest = VssLayout::finest(timed.graph());
+    const auto report = scheduleSlack(timed, finest);
+    ASSERT_GE(report.tightestArrivalStep[0], 0);
+    rail::Schedule tightened;
+    for (std::size_t r = 0; r < study.timedSchedule.size(); ++r) {
+        rail::TrainRun run = study.timedSchedule.runs()[r];
+        if (r == 0) {
+            run.stops.back().arrival =
+                Seconds(study.resolution.temporal.count() * report.tightestArrivalStep[0]);
+        }
+        tightened.addRun(std::move(run));
+    }
+    tightened.setHorizon(study.timedSchedule.horizon());
+    const Instance tightInstance(study.network, study.trains, tightened, study.resolution);
+    EXPECT_TRUE(verifySchedule(tightInstance, finest).feasible);
+}
+
+TEST_F(AnalysisFixture, SlackOnInfeasibleLayoutIsMinusOne) {
+    const VssLayout pure(timed.graph());  // schedule infeasible on pure TTD
+    const auto report = scheduleSlack(timed, pure);
+    for (std::size_t r = 0; r < timed.numRuns(); ++r) {
+        EXPECT_EQ(report.tightestArrivalStep[r], -1);
+        EXPECT_EQ(report.slackSteps[r], -1);
+    }
+}
+
+TEST_F(AnalysisFixture, SlackRequiresTimedSchedule) {
+    const auto finest = VssLayout::finest(open.graph());
+    EXPECT_THROW((void)scheduleSlack(open, finest), PreconditionError);
+}
+
+TEST_F(AnalysisFixture, IndividualArrivalsRespectPriority) {
+    const auto result = optimizeIndividualArrivals(open);
+    ASSERT_TRUE(result.feasible);
+    ASSERT_TRUE(result.solution.has_value());
+    EXPECT_TRUE(validateSolution(open, *result.solution).empty());
+    // The priority train's done step is a true minimum: one step earlier is
+    // infeasible even before any other train is constrained.
+    const auto backend = cnf::makeInternalBackend();
+    Encoder encoder(*backend, open);
+    encoder.encode(nullptr);
+    const cnf::Literal everyone[] = {
+        encoder.doneAllLiteral(open.horizonSteps() - 1)};
+    const cnf::Literal oneEarlier = encoder.doneLiteral(0, result.doneSteps[0] - 1);
+    std::vector<cnf::Literal> assumptions(everyone, everyone + 1);
+    if (oneEarlier.valid()) {
+        assumptions.push_back(oneEarlier);
+        EXPECT_EQ(backend->solve(assumptions), cnf::SolveStatus::Unsat);
+    }
+}
+
+TEST_F(AnalysisFixture, IndividualArrivalsWithReversedPriority) {
+    std::vector<std::size_t> reversed(open.numRuns());
+    for (std::size_t i = 0; i < reversed.size(); ++i) {
+        reversed[i] = open.numRuns() - 1 - i;
+    }
+    const auto result = optimizeIndividualArrivals(open, reversed);
+    ASSERT_TRUE(result.feasible);
+    // The now-top-priority train (last run) can only improve or match its
+    // done step from the default order.
+    const auto defaultOrder = optimizeIndividualArrivals(open);
+    ASSERT_TRUE(defaultOrder.feasible);
+    EXPECT_LE(result.doneSteps.back(), defaultOrder.doneSteps.back());
+}
+
+TEST_F(AnalysisFixture, IndividualArrivalsRejectBadPriority) {
+    EXPECT_THROW((void)optimizeIndividualArrivals(open, {0, 1}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace etcs::core

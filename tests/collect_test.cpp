@@ -1,0 +1,66 @@
+// CollectingBackend + DIMACS export tests: the exported instance must decide
+// exactly like the in-process solve.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cnf/collect.hpp"
+#include "core/encoder.hpp"
+#include "core/tasks.hpp"
+#include "sat/solver.hpp"
+#include "studies/studies.hpp"
+
+namespace etcs::cnf {
+namespace {
+
+TEST(CollectingBackend, RecordsVariablesAndClauses) {
+    CollectingBackend backend;
+    const Literal a = Literal::positive(backend.addVariable());
+    const Literal b = Literal::positive(backend.addVariable());
+    backend.addClause({a, b});
+    backend.addUnit(~a);
+    EXPECT_EQ(backend.numVariables(), 2);
+    EXPECT_EQ(backend.numClauses(), 2u);
+    EXPECT_EQ(backend.solve(), SolveStatus::Unknown);
+    const auto formula = backend.formula();
+    EXPECT_EQ(formula.numVariables, 2);
+    ASSERT_EQ(formula.clauses.size(), 2u);
+    EXPECT_EQ(formula.clauses[1], std::vector<Literal>{~a});
+}
+
+TEST(CollectingBackend, ExportedEtcsInstanceDecidesLikeDirectSolve) {
+    const auto study = studies::runningExample();
+    const core::Instance instance(study.network, study.trains, study.timedSchedule,
+                                  study.resolution);
+    for (const bool pureLayout : {true, false}) {
+        CollectingBackend collector;
+        core::Encoder encoder(collector, instance);
+        const core::VssLayout pure(instance.graph());
+        encoder.encode(pureLayout ? &pure : nullptr);
+
+        // Round-trip through DIMACS text.
+        std::stringstream buffer;
+        sat::writeDimacs(buffer, collector.formula());
+        const sat::CnfFormula parsed = sat::readDimacs(buffer);
+
+        sat::Solver solver;
+        for (int v = 0; v < parsed.numVariables; ++v) {
+            solver.addVariable();
+        }
+        for (const auto& clause : parsed.clauses) {
+            solver.addClause(clause);
+        }
+        const auto viaExport = solver.solve();
+
+        // Direct solve for comparison.
+        const auto direct =
+            pureLayout
+                ? core::verifySchedule(instance, pure).feasible
+                : core::generateLayout(instance).feasible;
+        EXPECT_EQ(viaExport == sat::SolveStatus::Sat, direct)
+            << (pureLayout ? "pure" : "free");
+    }
+}
+
+}  // namespace
+}  // namespace etcs::cnf

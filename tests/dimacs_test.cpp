@@ -1,0 +1,88 @@
+// DIMACS reader/writer tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "util/error.hpp"
+
+namespace etcs::sat {
+namespace {
+
+TEST(Dimacs, ParsesSimpleFormula) {
+    std::istringstream in(
+        "c a comment\n"
+        "p cnf 3 2\n"
+        "1 -2 0\n"
+        "2 3 0\n");
+    const CnfFormula f = readDimacs(in);
+    EXPECT_EQ(f.numVariables, 3);
+    ASSERT_EQ(f.clauses.size(), 2u);
+    EXPECT_EQ(f.clauses[0][0], Literal::positive(0));
+    EXPECT_EQ(f.clauses[0][1], Literal::negative(1));
+    EXPECT_EQ(f.clauses[1][1], Literal::positive(2));
+}
+
+TEST(Dimacs, ParsesMultipleClausesPerLine) {
+    std::istringstream in("p cnf 2 2\n1 0 -2 0\n");
+    const CnfFormula f = readDimacs(in);
+    EXPECT_EQ(f.clauses.size(), 2u);
+}
+
+TEST(Dimacs, RoundTrip) {
+    CnfFormula f;
+    f.numVariables = 4;
+    f.clauses = {{Literal::positive(0), Literal::negative(3)},
+                 {Literal::negative(1), Literal::positive(2), Literal::positive(3)},
+                 {Literal::negative(0)}};
+    std::stringstream buffer;
+    writeDimacs(buffer, f);
+    const CnfFormula parsed = readDimacs(buffer);
+    EXPECT_EQ(parsed.numVariables, f.numVariables);
+    EXPECT_EQ(parsed.clauses, f.clauses);
+}
+
+TEST(Dimacs, RejectsMissingHeader) {
+    std::istringstream in("1 2 0\n");
+    EXPECT_THROW(readDimacs(in), InputError);
+}
+
+TEST(Dimacs, RejectsClauseCountMismatch) {
+    std::istringstream in("p cnf 2 5\n1 0\n");
+    EXPECT_THROW(readDimacs(in), InputError);
+}
+
+TEST(Dimacs, RejectsOutOfRangeLiteral) {
+    std::istringstream in("p cnf 2 1\n3 0\n");
+    EXPECT_THROW(readDimacs(in), InputError);
+}
+
+TEST(Dimacs, RejectsUnterminatedClause) {
+    std::istringstream in("p cnf 2 1\n1 2\n");
+    EXPECT_THROW(readDimacs(in), InputError);
+}
+
+TEST(Dimacs, ParsedFormulaSolvesCorrectly) {
+    std::istringstream in(
+        "p cnf 3 4\n"
+        "1 2 0\n"
+        "-1 2 0\n"
+        "1 -2 0\n"
+        "-2 -3 0\n");
+    const CnfFormula f = readDimacs(in);
+    Solver solver;
+    for (int v = 0; v < f.numVariables; ++v) {
+        solver.addVariable();
+    }
+    for (const auto& clause : f.clauses) {
+        solver.addClause(clause);
+    }
+    ASSERT_EQ(solver.solve(), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(Var{0}), Value::True);
+    EXPECT_EQ(solver.modelValue(Var{1}), Value::True);
+    EXPECT_EQ(solver.modelValue(Var{2}), Value::False);
+}
+
+}  // namespace
+}  // namespace etcs::sat

@@ -1,0 +1,81 @@
+// Graphviz export smoke tests: the DOT output must be structurally complete
+// (every node, track and border accounted for).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/layout.hpp"
+#include "railway/dot.hpp"
+#include "studies/studies.hpp"
+
+namespace etcs::rail {
+namespace {
+
+std::size_t countOccurrences(const std::string& haystack, const std::string& needle) {
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+TEST(Dot, NetworkExportMentionsEveryElement) {
+    const auto study = studies::runningExample();
+    std::ostringstream out;
+    writeDot(out, study.network);
+    const std::string dot = out.str();
+    EXPECT_NE(dot.find("graph \"running_example\""), std::string::npos);
+    for (const Node& node : study.network.nodes()) {
+        EXPECT_NE(dot.find("\"" + node.name + "\""), std::string::npos) << node.name;
+    }
+    for (const Track& track : study.network.tracks()) {
+        EXPECT_NE(dot.find(track.name), std::string::npos) << track.name;
+    }
+    for (const Station& station : study.network.stations()) {
+        EXPECT_NE(dot.find("st_" + station.name), std::string::npos) << station.name;
+    }
+}
+
+TEST(Dot, SegmentGraphExportHasOneEdgePerSegment) {
+    const auto study = studies::runningExample();
+    const SegmentGraph graph(study.network, study.resolution);
+    std::ostringstream out;
+    writeDot(out, graph);
+    const std::string dot = out.str();
+    EXPECT_EQ(countOccurrences(dot, " -- "), graph.numSegments());
+}
+
+TEST(Dot, BordersRenderedAsBoxes) {
+    const auto study = studies::runningExample();
+    const SegmentGraph graph(study.network, study.resolution);
+    core::VssLayout layout(graph);
+    // Count fixed borders, then raise one extra virtual border.
+    std::size_t fixed = 0;
+    SegNodeId candidate;
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        if (graph.node(SegNodeId(n)).fixedBorder) {
+            ++fixed;
+        } else if (!candidate.valid()) {
+            candidate = SegNodeId(n);
+        }
+    }
+    ASSERT_TRUE(candidate.valid());
+    layout.setBorder(candidate, true);
+    std::ostringstream out;
+    writeDot(out, graph, &layout.flags());
+    EXPECT_EQ(countOccurrences(out.str(), "shape=box"), fixed + 1);
+}
+
+TEST(Dot, OutputIsBalanced) {
+    const auto study = studies::simpleLayout();
+    const SegmentGraph graph(study.network, study.resolution);
+    std::ostringstream out;
+    writeDot(out, graph);
+    const std::string dot = out.str();
+    EXPECT_EQ(countOccurrences(dot, "{"), countOccurrences(dot, "}"));
+    EXPECT_EQ(dot.back(), '\n');
+}
+
+}  // namespace
+}  // namespace etcs::rail

@@ -1,0 +1,100 @@
+// Tseitin formula-helper tests (cnf/formula.hpp).
+#include <gtest/gtest.h>
+
+#include "cnf/backend.hpp"
+#include "cnf/formula.hpp"
+
+namespace etcs::cnf {
+namespace {
+
+std::vector<Literal> makeInputs(SatBackend& backend, int n) {
+    std::vector<Literal> inputs;
+    for (int i = 0; i < n; ++i) {
+        inputs.push_back(Literal::positive(backend.addVariable()));
+    }
+    return inputs;
+}
+
+std::vector<Literal> assumptionsFor(const std::vector<Literal>& inputs, std::uint32_t bits) {
+    std::vector<Literal> assumptions;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        assumptions.push_back(((bits >> i) & 1u) != 0 ? inputs[i] : ~inputs[i]);
+    }
+    return assumptions;
+}
+
+TEST(Formula, Implication) {
+    const auto backend = makeInternalBackend();
+    const auto x = makeInputs(*backend, 2);
+    addImplication(*backend, x[0], x[1]);
+    EXPECT_EQ(backend->solve({x[0], ~x[1]}), SolveStatus::Unsat);
+    EXPECT_EQ(backend->solve({x[0], x[1]}), SolveStatus::Sat);
+    EXPECT_EQ(backend->solve({~x[0], ~x[1]}), SolveStatus::Sat);
+}
+
+TEST(Formula, ImplicationToDisjunction) {
+    const auto backend = makeInternalBackend();
+    const auto x = makeInputs(*backend, 4);
+    const Literal disj[] = {x[1], x[2], x[3]};
+    addImplicationToDisjunction(*backend, x[0], disj);
+    EXPECT_EQ(backend->solve({x[0], ~x[1], ~x[2], ~x[3]}), SolveStatus::Unsat);
+    EXPECT_EQ(backend->solve({x[0], ~x[1], x[2], ~x[3]}), SolveStatus::Sat);
+}
+
+TEST(Formula, ConjunctionImpliesDisjunction) {
+    const auto backend = makeInternalBackend();
+    const auto x = makeInputs(*backend, 4);
+    const Literal conj[] = {x[0], x[1]};
+    const Literal disj[] = {x[2], x[3]};
+    addConjunctionImpliesDisjunction(*backend, conj, disj);
+    EXPECT_EQ(backend->solve({x[0], x[1], ~x[2], ~x[3]}), SolveStatus::Unsat);
+    EXPECT_EQ(backend->solve({x[0], ~x[1], ~x[2], ~x[3]}), SolveStatus::Sat);
+}
+
+TEST(Formula, Equivalence) {
+    const auto backend = makeInternalBackend();
+    const auto x = makeInputs(*backend, 2);
+    addEquivalence(*backend, x[0], x[1]);
+    EXPECT_EQ(backend->solve({x[0], ~x[1]}), SolveStatus::Unsat);
+    EXPECT_EQ(backend->solve({~x[0], x[1]}), SolveStatus::Unsat);
+    EXPECT_EQ(backend->solve({x[0], x[1]}), SolveStatus::Sat);
+    EXPECT_EQ(backend->solve({~x[0], ~x[1]}), SolveStatus::Sat);
+}
+
+TEST(Formula, MakeAndTruthTable) {
+    const auto backend = makeInternalBackend();
+    const auto x = makeInputs(*backend, 3);
+    const Literal y = makeAnd(*backend, x);
+    for (std::uint32_t bits = 0; bits < 8; ++bits) {
+        auto assumptions = assumptionsFor(x, bits);
+        ASSERT_EQ(backend->solve(assumptions), SolveStatus::Sat);
+        EXPECT_EQ(backend->modelValue(y), bits == 7u) << "bits=" << bits;
+    }
+}
+
+TEST(Formula, MakeOrTruthTable) {
+    const auto backend = makeInternalBackend();
+    const auto x = makeInputs(*backend, 3);
+    const Literal y = makeOr(*backend, x);
+    for (std::uint32_t bits = 0; bits < 8; ++bits) {
+        auto assumptions = assumptionsFor(x, bits);
+        ASSERT_EQ(backend->solve(assumptions), SolveStatus::Sat);
+        EXPECT_EQ(backend->modelValue(y), bits != 0u) << "bits=" << bits;
+    }
+}
+
+TEST(Formula, GatesComposable) {
+    // (a & b) | (c & d) as two AND gates into an OR gate.
+    const auto backend = makeInternalBackend();
+    const auto x = makeInputs(*backend, 4);
+    const Literal left[] = {x[0], x[1]};
+    const Literal right[] = {x[2], x[3]};
+    const Literal ands[] = {makeAnd(*backend, left), makeAnd(*backend, right)};
+    const Literal out = makeOr(*backend, ands);
+    backend->addUnit(out);
+    EXPECT_EQ(backend->solve({~x[0], ~x[2]}), SolveStatus::Unsat);
+    EXPECT_EQ(backend->solve({x[0], x[1], ~x[2]}), SolveStatus::Sat);
+}
+
+}  // namespace
+}  // namespace etcs::cnf

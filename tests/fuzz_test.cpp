@@ -1,0 +1,160 @@
+// Randomized end-to-end property tests: random networks, random schedules —
+// every decoded solution must validate, and task relationships must hold.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/tasks.hpp"
+#include "core/validator.hpp"
+#include "studies/studies.hpp"
+
+namespace etcs::core {
+namespace {
+
+struct RandomWorld {
+    rail::Network network{"fuzz"};
+    rail::TrainSet trains;
+    rail::Schedule schedule;
+    Resolution resolution{Meters(500), Seconds(60)};
+};
+
+/// Build a random connected network: a random tree over `numNodes` nodes
+/// plus a few parallel tracks (passing loops), one TTD per track, stations
+/// scattered over the tracks.
+RandomWorld makeRandomWorld(std::mt19937& rng) {
+    RandomWorld world;
+    std::uniform_int_distribution<int> nodeCount(4, 8);
+    const int numNodes = nodeCount(rng);
+
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < numNodes; ++i) {
+        nodes.push_back(world.network.addNode("n" + std::to_string(i)));
+    }
+
+    std::uniform_int_distribution<int> lengthDist(1, 4);  // x 500 m
+    int trackIndex = 0;
+    auto addTrack = [&](NodeId a, NodeId b) {
+        const std::string name = "t" + std::to_string(trackIndex++);
+        const TrackId track =
+            world.network.addTrack(name, a, b, Meters(500 * lengthDist(rng)));
+        world.network.addTtd("T" + name, {track});
+        return track;
+    };
+
+    // Random tree: node i attaches to a random earlier node.
+    std::vector<TrackId> tracks;
+    for (int i = 1; i < numNodes; ++i) {
+        std::uniform_int_distribution<int> parent(0, i - 1);
+        tracks.push_back(addTrack(nodes[static_cast<std::size_t>(parent(rng))],
+                                  nodes[static_cast<std::size_t>(i)]));
+    }
+    // A couple of parallel tracks to create passing opportunities.
+    std::uniform_int_distribution<int> extraCount(1, 2);
+    std::uniform_int_distribution<int> pick(0, numNodes - 1);
+    for (int e = extraCount(rng); e > 0; --e) {
+        const int a = pick(rng);
+        int b = pick(rng);
+        if (a == b) {
+            b = (b + 1) % numNodes;
+        }
+        tracks.push_back(
+            addTrack(nodes[static_cast<std::size_t>(a)], nodes[static_cast<std::size_t>(b)]));
+    }
+
+    // Stations on distinct tracks.
+    std::vector<StationId> stations;
+    std::uniform_int_distribution<std::size_t> trackPick(0, tracks.size() - 1);
+    std::vector<char> used(tracks.size(), 0);
+    for (int s = 0; s < 4; ++s) {
+        std::size_t track = trackPick(rng);
+        for (std::size_t probe = 0; probe < tracks.size() && used[track] != 0; ++probe) {
+            track = (track + 1) % tracks.size();
+        }
+        if (used[track] != 0) {
+            break;
+        }
+        used[track] = 1;
+        stations.push_back(world.network.addStation("S" + std::to_string(s), tracks[track],
+                                                    Meters(0)));
+    }
+    world.network.validate();
+
+    // Trains between random distinct stations, staggered by 2 steps, with
+    // deadlines generous enough that single-track meets are schedulable.
+    std::uniform_int_distribution<int> trainCount(1, 3);
+    std::uniform_int_distribution<std::size_t> stationPick(0, stations.size() - 1);
+    const int numTrains = trainCount(rng);
+    for (int i = 0; i < numTrains; ++i) {
+        const TrainId train = world.trains.addTrain(
+            "tr" + std::to_string(i), Speed::fromKmPerHour(60 + 30 * (i % 3)), Meters(200));
+        std::size_t from = stationPick(rng);
+        std::size_t to = stationPick(rng);
+        if (from == to) {
+            to = (to + 1) % stations.size();
+        }
+        rail::TrainRun run;
+        run.train = train;
+        run.origin = stations[from];
+        run.departure = Seconds(60 * 2 * i);
+        // Deadline: total network length at slowest speed, once per train.
+        const std::int64_t slack =
+            world.network.totalLength().count() * 3600 / 60000 * (i + 1) + 600;
+        run.stops.push_back(rail::TimedStop{stations[to],
+                                            Seconds(run.departure.count() + slack)});
+        world.schedule.addRun(run);
+    }
+    return world;
+}
+
+class FuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FuzzTest, EndToEndProperties) {
+    std::mt19937 rng(GetParam());
+    for (int round = 0; round < 5; ++round) {
+        const RandomWorld world = makeRandomWorld(rng);
+        const Instance timed(world.network, world.trains, world.schedule, world.resolution);
+        SCOPED_TRACE("seed " + std::to_string(GetParam()) + " round " +
+                     std::to_string(round));
+
+        // Property 1: generation feasible <=> verification on finest layout.
+        const auto finest = VssLayout::finest(timed.graph());
+        const auto onFinest = verifySchedule(timed, finest);
+        const auto generation = generateLayout(timed);
+        EXPECT_EQ(onFinest.feasible, generation.feasible);
+
+        if (!generation.feasible) {
+            continue;
+        }
+        // Property 2: every decoded solution validates.
+        EXPECT_TRUE(validateSolution(timed, *generation.solution).empty());
+        EXPECT_TRUE(validateSolution(timed, *onFinest.solution).empty());
+
+        // Property 3: the generated layout passes verification.
+        const auto reverify = verifySchedule(timed, generation.solution->layout);
+        EXPECT_TRUE(reverify.feasible);
+
+        // Property 4: generated layout is minimal-or-equal vs finest.
+        EXPECT_LE(generation.sectionCount, finest.sectionCount(timed.graph()));
+
+        // Property 5: open-schedule optimization (same horizon) is feasible
+        // and at least as fast as the timed schedule's span.
+        rail::Schedule open;
+        for (const auto& run : world.schedule.runs()) {
+            rail::TrainRun openRun = run;
+            openRun.stops.back().arrival.reset();
+            open.addRun(openRun);
+        }
+        open.setHorizon(world.schedule.horizon());
+        const Instance openInstance(world.network, world.trains, open, world.resolution);
+        const auto optimization = optimizeSchedule(openInstance);
+        ASSERT_TRUE(optimization.feasible);
+        EXPECT_LE(optimization.completionSteps, openInstance.horizonSteps());
+        EXPECT_TRUE(validateSolution(openInstance, *optimization.solution).empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u));
+
+}  // namespace
+}  // namespace etcs::core

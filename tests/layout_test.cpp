@@ -1,0 +1,73 @@
+// VssLayout unit tests.
+#include <gtest/gtest.h>
+
+#include "core/layout.hpp"
+#include "studies/studies.hpp"
+
+namespace etcs::core {
+namespace {
+
+struct LayoutFixture : ::testing::Test {
+    studies::CaseStudy study = studies::runningExample();
+    rail::SegmentGraph graph{study.network, study.resolution};
+};
+
+TEST_F(LayoutFixture, DefaultLayoutIsPureTtd) {
+    const VssLayout layout(graph);
+    EXPECT_EQ(layout.virtualBorderCount(graph), 0);
+    EXPECT_EQ(layout.sectionCount(graph), 4);
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        EXPECT_EQ(layout.isBorder(graph, SegNodeId(n)), graph.node(SegNodeId(n)).fixedBorder);
+    }
+}
+
+TEST_F(LayoutFixture, FinestLayoutSplitsEverySegment) {
+    const auto finest = VssLayout::finest(graph);
+    EXPECT_EQ(finest.sectionCount(graph), static_cast<int>(graph.numSegments()));
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        EXPECT_TRUE(finest.isBorder(graph, SegNodeId(n)));
+    }
+}
+
+TEST_F(LayoutFixture, SettingBordersChangesSectionCount) {
+    VssLayout layout(graph);
+    int candidates = 0;
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        if (!graph.node(SegNodeId(n)).fixedBorder) {
+            layout.setBorder(SegNodeId(n), true);
+            ++candidates;
+            EXPECT_EQ(layout.virtualBorderCount(graph), candidates);
+            EXPECT_EQ(layout.sectionCount(graph), 4 + candidates);
+        }
+    }
+    // Clearing one border undoes its section.
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        if (!graph.node(SegNodeId(n)).fixedBorder) {
+            layout.setBorder(SegNodeId(n), false);
+            EXPECT_EQ(layout.sectionCount(graph), 4 + candidates - 1);
+            break;
+        }
+    }
+}
+
+TEST_F(LayoutFixture, BorderOnFixedNodeIsRedundant) {
+    VssLayout layout(graph);
+    // Raising the flag on a fixed-border node must not change the section
+    // count (it is already a border).
+    for (std::size_t n = 0; n < graph.numNodes(); ++n) {
+        if (graph.node(SegNodeId(n)).fixedBorder) {
+            layout.setBorder(SegNodeId(n), true);
+            EXPECT_EQ(layout.sectionCount(graph), 4);
+            EXPECT_EQ(layout.virtualBorderCount(graph), 0);  // not counted
+            break;
+        }
+    }
+}
+
+TEST_F(LayoutFixture, FlagsVectorMatchesGraphSize) {
+    const VssLayout layout(graph);
+    EXPECT_EQ(layout.flags().size(), graph.numNodes());
+}
+
+}  // namespace
+}  // namespace etcs::core

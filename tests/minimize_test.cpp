@@ -1,0 +1,199 @@
+// Optimization engine tests: every strategy must find the true optimum (as
+// determined by brute force), and the backend's model must be optimal after
+// return.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cnf/backend.hpp"
+#include "opt/minimize.hpp"
+#include "util/error.hpp"
+
+namespace etcs::opt {
+namespace {
+
+using cnf::SolveStatus;
+
+std::vector<Literal> makeInputs(SatBackend& backend, int n) {
+    std::vector<Literal> inputs;
+    for (int i = 0; i < n; ++i) {
+        inputs.push_back(Literal::positive(backend.addVariable()));
+    }
+    return inputs;
+}
+
+class StrategyTest : public ::testing::TestWithParam<SearchStrategy> {};
+
+TEST_P(StrategyTest, MinimumOfUnconstrainedSoftLiteralsIsZero) {
+    const auto backend = cnf::makeInternalBackend();
+    const auto soft = makeInputs(*backend, 5);
+    const auto result = minimizeTrueLiterals(*backend, soft, GetParam());
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.optimum, 0);
+}
+
+TEST_P(StrategyTest, CoveringConstraintForcesMinimum) {
+    // Soft literals must cover three disjoint "demands": x0|x1, x2|x3, x4|x5
+    // -> optimum 3.
+    const auto backend = cnf::makeInternalBackend();
+    const auto soft = makeInputs(*backend, 6);
+    backend->addClause({soft[0], soft[1]});
+    backend->addClause({soft[2], soft[3]});
+    backend->addClause({soft[4], soft[5]});
+    const auto result = minimizeTrueLiterals(*backend, soft, GetParam());
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.optimum, 3);
+    // The backend's model must realize the optimum.
+    int count = 0;
+    for (Literal l : soft) {
+        count += backend->modelValue(l) ? 1 : 0;
+    }
+    EXPECT_EQ(count, 3);
+}
+
+TEST_P(StrategyTest, InfeasibleHardClausesReported) {
+    const auto backend = cnf::makeInternalBackend();
+    const auto soft = makeInputs(*backend, 3);
+    backend->addClause({soft[0]});
+    backend->addClause({~soft[0]});
+    const auto result = minimizeTrueLiterals(*backend, soft, GetParam());
+    EXPECT_FALSE(result.feasible);
+}
+
+TEST_P(StrategyTest, EmptySoftSetIsPlainSolve) {
+    const auto backend = cnf::makeInternalBackend();
+    makeInputs(*backend, 2);
+    const auto result = minimizeTrueLiterals(*backend, {}, GetParam());
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.optimum, 0);
+}
+
+TEST_P(StrategyTest, RandomInstancesMatchBruteForce) {
+    std::mt19937 rng(77);
+    for (int round = 0; round < 8; ++round) {
+        // Random 3-clauses over 8 soft variables.
+        const int n = 8;
+        std::uniform_int_distribution<int> varDist(0, n - 1);
+        std::bernoulli_distribution signDist(0.3);  // mostly positive -> coverage
+        std::vector<std::vector<Literal>> clauses;
+        const int numClauses = 10;
+
+        const auto backend = cnf::makeInternalBackend();
+        const auto soft = makeInputs(*backend, n);
+        for (int c = 0; c < numClauses; ++c) {
+            std::vector<Literal> clause;
+            for (int k = 0; k < 3; ++k) {
+                const Literal l = soft[varDist(rng)];
+                clause.push_back(signDist(rng) ? ~l : l);
+            }
+            clauses.push_back(clause);
+            backend->addClause(clause);
+        }
+
+        // Brute-force optimum.
+        int best = -1;
+        for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+            bool ok = true;
+            for (const auto& clause : clauses) {
+                bool sat = false;
+                for (Literal l : clause) {
+                    const bool v = ((bits >> l.var()) & 1u) != 0;
+                    if (v != l.sign()) {
+                        sat = true;
+                        break;
+                    }
+                }
+                if (!sat) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                const int count = __builtin_popcount(bits);
+                if (best < 0 || count < best) {
+                    best = count;
+                }
+            }
+        }
+
+        const auto result = minimizeTrueLiterals(*backend, soft, GetParam());
+        ASSERT_EQ(result.feasible, best >= 0) << "round " << round;
+        if (best >= 0) {
+            EXPECT_EQ(result.optimum, best) << "round " << round;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
+                         ::testing::Values(SearchStrategy::LinearDown,
+                                           SearchStrategy::LinearUp, SearchStrategy::Binary),
+                         [](const ::testing::TestParamInfo<SearchStrategy>& info) {
+                             std::string name(toString(info.param));
+                             for (char& c : name) {
+                                 if (c == '-') {
+                                     c = '_';
+                                 }
+                             }
+                             return name;
+                         });
+
+class IndexSearchTest : public ::testing::TestWithParam<SearchStrategy> {};
+
+TEST_P(IndexSearchTest, FindsSmallestFeasibleIndex) {
+    // literal(t) is satisfiable iff t >= 5: chain y_t -> y_{t+1} with y_4
+    // forced false and y_5 free models a monotone family.
+    const auto backend = cnf::makeInternalBackend();
+    std::vector<Literal> y = makeInputs(*backend, 10);
+    for (int t = 0; t + 1 < 10; ++t) {
+        backend->addClause({~y[t], y[t + 1]});  // monotone
+    }
+    backend->addClause({~y[4]});  // t <= 4 infeasible
+    const auto result = smallestFeasibleIndex(
+        *backend, [&](int t) { return y[t]; }, 0, 9, GetParam());
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.index, 5);
+    EXPECT_TRUE(backend->modelValue(y[5]));
+}
+
+TEST_P(IndexSearchTest, ReportsInfeasibleRange) {
+    const auto backend = cnf::makeInternalBackend();
+    std::vector<Literal> y = makeInputs(*backend, 4);
+    for (Literal l : y) {
+        backend->addClause({~l});
+    }
+    const auto result = smallestFeasibleIndex(
+        *backend, [&](int t) { return y[t]; }, 0, 3, GetParam());
+    EXPECT_FALSE(result.feasible);
+}
+
+TEST_P(IndexSearchTest, WholeRangeFeasibleReturnsLowerBound) {
+    const auto backend = cnf::makeInternalBackend();
+    std::vector<Literal> y = makeInputs(*backend, 4);
+    const auto result = smallestFeasibleIndex(
+        *backend, [&](int t) { return y[t]; }, 1, 3, GetParam());
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.index, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, IndexSearchTest,
+                         ::testing::Values(SearchStrategy::LinearDown,
+                                           SearchStrategy::LinearUp, SearchStrategy::Binary),
+                         [](const ::testing::TestParamInfo<SearchStrategy>& info) {
+                             std::string name(toString(info.param));
+                             for (char& c : name) {
+                                 if (c == '-') {
+                                     c = '_';
+                                 }
+                             }
+                             return name;
+                         });
+
+TEST(Minimize, RejectsEmptyRange) {
+    const auto backend = cnf::makeInternalBackend();
+    const auto y = makeInputs(*backend, 2);
+    EXPECT_THROW(smallestFeasibleIndex(*backend, [&](int t) { return y[t]; }, 2, 1),
+                 PreconditionError);
+}
+
+}  // namespace
+}  // namespace etcs::opt

@@ -1,0 +1,227 @@
+// Physical-network model and text I/O tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "railway/io.hpp"
+#include "railway/network.hpp"
+
+namespace etcs::rail {
+namespace {
+
+Network makeSmallNetwork() {
+    Network n("small");
+    const auto a = n.addNode("A");
+    const auto b = n.addNode("B");
+    const auto c = n.addNode("C");
+    const auto t1 = n.addTrack("t1", a, b, Meters(1000));
+    const auto t2 = n.addTrack("t2", b, c, Meters(2000));
+    n.addTtd("TTD1", {t1});
+    n.addTtd("TTD2", {t2});
+    n.addStation("StA", t1, Meters(0));
+    n.addStation("StC", t2, Meters(2000));
+    return n;
+}
+
+TEST(Network, BasicConstruction) {
+    const Network n = makeSmallNetwork();
+    EXPECT_EQ(n.numNodes(), 3u);
+    EXPECT_EQ(n.numTracks(), 2u);
+    EXPECT_EQ(n.numTtds(), 2u);
+    EXPECT_EQ(n.numStations(), 2u);
+    EXPECT_NO_THROW(n.validate());
+    EXPECT_EQ(n.totalLength().count(), 3000);
+}
+
+TEST(Network, NameLookups) {
+    const Network n = makeSmallNetwork();
+    ASSERT_TRUE(n.findNode("B").has_value());
+    EXPECT_EQ(n.node(*n.findNode("B")).name, "B");
+    ASSERT_TRUE(n.findTrack("t2").has_value());
+    EXPECT_TRUE(n.findStation("StA").has_value());
+    EXPECT_TRUE(n.findTtd("TTD1").has_value());
+    EXPECT_FALSE(n.findNode("Z").has_value());
+    EXPECT_FALSE(n.findTrack("tz").has_value());
+}
+
+TEST(Network, Degree) {
+    const Network n = makeSmallNetwork();
+    EXPECT_EQ(n.degree(*n.findNode("A")), 1);
+    EXPECT_EQ(n.degree(*n.findNode("B")), 2);
+}
+
+TEST(Network, TtdOfTrack) {
+    const Network n = makeSmallNetwork();
+    EXPECT_EQ(n.ttdOfTrack(*n.findTrack("t1")), *n.findTtd("TTD1"));
+}
+
+TEST(Network, RejectsDuplicateNames) {
+    Network n;
+    n.addNode("A");
+    EXPECT_THROW(n.addNode("A"), PreconditionError);
+}
+
+TEST(Network, RejectsSelfLoopTrack) {
+    Network n;
+    const auto a = n.addNode("A");
+    EXPECT_THROW(n.addTrack("t", a, a, Meters(100)), PreconditionError);
+}
+
+TEST(Network, RejectsNonPositiveTrackLength) {
+    Network n;
+    const auto a = n.addNode("A");
+    const auto b = n.addNode("B");
+    EXPECT_THROW(n.addTrack("t", a, b, Meters(0)), PreconditionError);
+}
+
+TEST(Network, RejectsTrackInTwoTtds) {
+    Network n;
+    const auto a = n.addNode("A");
+    const auto b = n.addNode("B");
+    const auto t = n.addTrack("t", a, b, Meters(100));
+    n.addTtd("T1", {t});
+    EXPECT_THROW(n.addTtd("T2", {t}), PreconditionError);
+}
+
+TEST(Network, RejectsStationOffsetOutsideTrack) {
+    Network n;
+    const auto a = n.addNode("A");
+    const auto b = n.addNode("B");
+    const auto t = n.addTrack("t", a, b, Meters(100));
+    EXPECT_THROW(n.addStation("S", t, Meters(101)), PreconditionError);
+}
+
+TEST(Network, ValidateRejectsTrackWithoutTtd) {
+    Network n;
+    const auto a = n.addNode("A");
+    const auto b = n.addNode("B");
+    n.addTrack("t", a, b, Meters(100));
+    EXPECT_THROW(n.validate(), InputError);
+}
+
+TEST(Network, ValidateRejectsDisconnectedNetwork) {
+    Network n;
+    const auto a = n.addNode("A");
+    const auto b = n.addNode("B");
+    const auto c = n.addNode("C");
+    const auto d = n.addNode("D");
+    const auto t1 = n.addTrack("t1", a, b, Meters(100));
+    const auto t2 = n.addTrack("t2", c, d, Meters(100));
+    n.addTtd("T1", {t1});
+    n.addTtd("T2", {t2});
+    EXPECT_THROW(n.validate(), InputError);
+}
+
+TEST(NetworkIo, RoundTrip) {
+    const Network original = makeSmallNetwork();
+    std::stringstream buffer;
+    writeNetwork(buffer, original);
+    const Network parsed = readNetwork(buffer);
+    EXPECT_EQ(parsed.name(), original.name());
+    EXPECT_EQ(parsed.numNodes(), original.numNodes());
+    EXPECT_EQ(parsed.numTracks(), original.numTracks());
+    EXPECT_EQ(parsed.numTtds(), original.numTtds());
+    EXPECT_EQ(parsed.numStations(), original.numStations());
+    EXPECT_EQ(parsed.track(TrackId(0u)).length, original.track(TrackId(0u)).length);
+}
+
+TEST(NetworkIo, ParsesCommentsAndBlankLines) {
+    std::istringstream in(
+        "# a railway\n"
+        "network demo\n"
+        "\n"
+        "node A\n"
+        "node B  # trailing comment\n"
+        "track t A B 500\n"
+        "ttd T t\n");
+    const Network n = readNetwork(in);
+    EXPECT_EQ(n.name(), "demo");
+    EXPECT_EQ(n.numTracks(), 1u);
+}
+
+TEST(NetworkIo, RejectsUnknownKeyword) {
+    std::istringstream in("nodes A\n");
+    EXPECT_THROW(readNetwork(in), InputError);
+}
+
+TEST(NetworkIo, RejectsUnknownNodeReference) {
+    std::istringstream in(
+        "node A\n"
+        "track t A Z 100\n");
+    EXPECT_THROW(readNetwork(in), InputError);
+}
+
+TEST(NetworkIo, RejectsMalformedLength) {
+    std::istringstream in(
+        "node A\nnode B\n"
+        "track t A B 10x\n");
+    EXPECT_THROW(readNetwork(in), InputError);
+}
+
+TEST(ScenarioIo, RoundTrip) {
+    const Network network = makeSmallNetwork();
+    std::istringstream in(
+        "scenario demo\n"
+        "train ICE 180 400\n"
+        "train Slow 90 700\n"
+        "run ICE from StA dep 0:00 to StC arr 0:04:30\n"
+        "run Slow from StC dep 0:02 to StA\n"
+        "horizon 0:20\n");
+    const Scenario scenario = readScenario(in, network);
+    EXPECT_EQ(scenario.name, "demo");
+    EXPECT_EQ(scenario.trains.size(), 2u);
+    ASSERT_EQ(scenario.schedule.size(), 2u);
+    EXPECT_EQ(scenario.schedule.runs()[0].departure.count(), 0);
+    ASSERT_TRUE(scenario.schedule.runs()[0].stops[0].arrival.has_value());
+    EXPECT_EQ(scenario.schedule.runs()[0].stops[0].arrival->count(), 270);
+    EXPECT_FALSE(scenario.schedule.runs()[1].stops[0].arrival.has_value());
+    EXPECT_EQ(scenario.schedule.horizon().count(), 20 * 60);
+
+    std::stringstream buffer;
+    writeScenario(buffer, scenario, network);
+    const Scenario reparsed = readScenario(buffer, network);
+    EXPECT_EQ(reparsed.trains.size(), scenario.trains.size());
+    EXPECT_EQ(reparsed.schedule.size(), scenario.schedule.size());
+    EXPECT_EQ(reparsed.schedule.horizon(), scenario.schedule.horizon());
+}
+
+TEST(ScenarioIo, ParsesViaStops) {
+    const Network network = [] {
+        Network n("via");
+        const auto a = n.addNode("A");
+        const auto b = n.addNode("B");
+        const auto c = n.addNode("C");
+        const auto t1 = n.addTrack("t1", a, b, Meters(1000));
+        const auto t2 = n.addTrack("t2", b, c, Meters(1000));
+        n.addTtd("T1", {t1});
+        n.addTtd("T2", {t2});
+        n.addStation("S1", t1, Meters(0));
+        n.addStation("S2", t1, Meters(1000));
+        n.addStation("S3", t2, Meters(1000));
+        return n;
+    }();
+    std::istringstream in(
+        "train T 120 100\n"
+        "run T from S1 dep 0:00 via S2 arr 0:03 to S3 arr 0:08\n");
+    const Scenario scenario = readScenario(in, network);
+    ASSERT_EQ(scenario.schedule.runs()[0].stops.size(), 2u);
+    EXPECT_EQ(scenario.schedule.runs()[0].stops[0].arrival->count(), 180);
+    EXPECT_EQ(scenario.schedule.runs()[0].stops[1].arrival->count(), 480);
+}
+
+TEST(ScenarioIo, RejectsRunWithUnknownTrain) {
+    const Network network = makeSmallNetwork();
+    std::istringstream in("run Ghost from StA dep 0:00 to StC\n");
+    EXPECT_THROW(readScenario(in, network), InputError);
+}
+
+TEST(ScenarioIo, RejectsRunWithoutDestination) {
+    const Network network = makeSmallNetwork();
+    std::istringstream in(
+        "train T 120 100\n"
+        "run T from StA dep 0:00 via StC\n");
+    EXPECT_THROW(readScenario(in, network), InputError);
+}
+
+}  // namespace
+}  // namespace etcs::rail

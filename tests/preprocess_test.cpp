@@ -1,0 +1,162 @@
+// CNF preprocessor tests: each rule individually, plus equisatisfiability
+// on random formulas.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/preprocess.hpp"
+#include "sat/solver.hpp"
+
+namespace etcs::sat {
+namespace {
+
+Literal pos(Var v) { return Literal::positive(v); }
+Literal neg(Var v) { return Literal::negative(v); }
+
+CnfFormula makeFormula(int numVariables, std::vector<std::vector<Literal>> clauses) {
+    CnfFormula f;
+    f.numVariables = numVariables;
+    f.clauses = std::move(clauses);
+    return f;
+}
+
+SolveStatus solveFormula(const CnfFormula& f) {
+    Solver solver;
+    for (int v = 0; v < f.numVariables; ++v) {
+        solver.addVariable();
+    }
+    for (const auto& clause : f.clauses) {
+        solver.addClause(clause);
+    }
+    return solver.solve();
+}
+
+TEST(Preprocess, RemovesTautologies) {
+    auto f = makeFormula(2, {{pos(0), neg(0)}, {pos(1), pos(0)}});
+    const auto result = preprocess(f);
+    EXPECT_FALSE(result.unsatisfiable);
+    EXPECT_EQ(result.stats.removedTautologies, 1u);
+}
+
+TEST(Preprocess, PropagatesUnits) {
+    auto f = makeFormula(3, {{pos(0)}, {neg(0), pos(1)}, {neg(1), pos(2)}});
+    const auto result = preprocess(f);
+    EXPECT_FALSE(result.unsatisfiable);
+    EXPECT_EQ(result.stats.propagatedUnits, 3u);
+    EXPECT_TRUE(f.clauses.empty());  // everything fixed
+    EXPECT_EQ(result.fixedLiterals.size(), 3u);
+}
+
+TEST(Preprocess, DetectsUnitConflict) {
+    auto f = makeFormula(1, {{pos(0)}, {neg(0)}});
+    const auto result = preprocess(f);
+    EXPECT_TRUE(result.unsatisfiable);
+    ASSERT_EQ(f.clauses.size(), 1u);
+    EXPECT_TRUE(f.clauses[0].empty());
+}
+
+TEST(Preprocess, DetectsEmptyClauseAfterPropagation) {
+    auto f = makeFormula(2, {{pos(0)}, {pos(1)}, {neg(0), neg(1)}});
+    const auto result = preprocess(f);
+    EXPECT_TRUE(result.unsatisfiable);
+}
+
+TEST(Preprocess, EliminatesPureLiterals) {
+    // Variable 1 occurs only positively; eliminating it satisfies both
+    // clauses, then variable 0 disappears entirely.
+    auto f = makeFormula(2, {{pos(0), pos(1)}, {neg(0), pos(1)}});
+    const auto result = preprocess(f);
+    EXPECT_FALSE(result.unsatisfiable);
+    EXPECT_GE(result.stats.eliminatedPureLiterals, 1u);
+    EXPECT_TRUE(f.clauses.empty());
+    EXPECT_FALSE(result.pureLiterals.empty());
+    EXPECT_EQ(result.pureLiterals.front(), pos(1));
+}
+
+TEST(Preprocess, SubsumesSupersetClauses) {
+    auto f = makeFormula(3, {{pos(0), pos(1)}, {pos(0), pos(1), pos(2)}, {neg(0), pos(2)},
+                             {neg(1), pos(2)}, {neg(2), pos(0)}});
+    const auto result = preprocess(f);
+    EXPECT_FALSE(result.unsatisfiable);
+    EXPECT_GE(result.stats.subsumedClauses, 1u);
+    for (const auto& clause : f.clauses) {
+        EXPECT_NE(clause, (std::vector<Literal>{pos(0), pos(1), pos(2)}));
+    }
+}
+
+TEST(Preprocess, SelfSubsumingResolutionStrengthens) {
+    // (a | b) and (~a | b | c): the second strengthens to (b | c).
+    auto f = makeFormula(3, {{pos(0), pos(1)}, {neg(0), pos(1), pos(2)}, {neg(1), pos(2)},
+                             {neg(2), neg(1), pos(0)}});
+    const auto result = preprocess(f);
+    EXPECT_FALSE(result.unsatisfiable);
+    EXPECT_GE(result.stats.strengthenedClauses, 1u);
+}
+
+TEST(Preprocess, FixedLiteralsHoldInEveryModel) {
+    auto f = makeFormula(4, {{pos(0)}, {neg(0), pos(1)}, {pos(2), pos(3)}, {neg(2), pos(3)}});
+    CnfFormula original = f;
+    const auto result = preprocess(f);
+    ASSERT_FALSE(result.unsatisfiable);
+    // Check each fixed literal against the original formula: adding its
+    // negation must be unsatisfiable.
+    for (Literal fixed : result.fixedLiterals) {
+        Solver solver;
+        for (int v = 0; v < original.numVariables; ++v) {
+            solver.addVariable();
+        }
+        for (const auto& clause : original.clauses) {
+            solver.addClause(clause);
+        }
+        solver.addClause({~fixed});
+        EXPECT_EQ(solver.solve(), SolveStatus::Unsat)
+            << "literal " << fixed << " is not actually entailed";
+    }
+}
+
+class PreprocessRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PreprocessRandomTest, PreservesSatisfiability) {
+    std::mt19937 rng(GetParam());
+    std::uniform_int_distribution<int> varDist(0, 9);
+    std::bernoulli_distribution signDist(0.5);
+    std::uniform_int_distribution<int> sizeDist(1, 4);
+    for (int round = 0; round < 15; ++round) {
+        CnfFormula f;
+        f.numVariables = 10;
+        const int numClauses = 25 + round * 2;
+        for (int c = 0; c < numClauses; ++c) {
+            std::vector<Literal> clause;
+            const int size = sizeDist(rng);
+            for (int k = 0; k < size; ++k) {
+                clause.push_back(Literal(varDist(rng), signDist(rng)));
+            }
+            f.clauses.push_back(clause);
+        }
+        const CnfFormula original = f;
+        const auto result = preprocess(f);
+        const SolveStatus expected = solveFormula(original);
+        if (result.unsatisfiable) {
+            EXPECT_EQ(expected, SolveStatus::Unsat) << "round " << round;
+        } else {
+            EXPECT_EQ(solveFormula(f), expected) << "round " << round;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessRandomTest,
+                         ::testing::Values(3u, 14u, 159u, 2653u, 58979u));
+
+TEST(Preprocess, IdempotentOnSimplifiedFormula) {
+    auto f = makeFormula(4, {{pos(0), pos(1), pos(2)}, {neg(0), pos(3)}, {neg(1), neg(3)},
+                             {pos(2), neg(3), pos(0)}});
+    preprocess(f);
+    const CnfFormula once = f;
+    const auto second = preprocess(f);
+    EXPECT_EQ(f.clauses.size(), once.clauses.size());
+    EXPECT_EQ(second.stats.propagatedUnits, 0u);
+    EXPECT_EQ(second.stats.subsumedClauses, 0u);
+}
+
+}  // namespace
+}  // namespace etcs::sat

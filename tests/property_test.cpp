@@ -1,0 +1,140 @@
+// Cross-cutting property tests:
+//  * every decoded solution passes the independent validator,
+//  * SAT results are consistent with the greedy simulator oracle,
+//  * layout refinement is monotone (adding borders never hurts),
+//  * tightening the horizon is monotone for the optimizer.
+#include <gtest/gtest.h>
+
+#include "core/tasks.hpp"
+#include "core/validator.hpp"
+#include "sim/simulator.hpp"
+#include "studies/studies.hpp"
+
+namespace etcs::core {
+namespace {
+
+using CorridorCase = std::tuple<int, int>;  // (stations, trains)
+
+class CorridorPropertyTest : public ::testing::TestWithParam<CorridorCase> {
+protected:
+    studies::CaseStudy study = studies::corridor(std::get<0>(GetParam()),
+                                                 std::get<1>(GetParam()),
+                                                 Meters::fromKilometers(2.0),
+                                                 Resolution{Meters(500), Seconds(60)});
+};
+
+TEST_P(CorridorPropertyTest, DecodedSolutionsAlwaysValidate) {
+    const Instance timed(study.network, study.trains, study.timedSchedule, study.resolution);
+    const auto generation = generateLayout(timed);
+    if (generation.feasible) {
+        EXPECT_TRUE(validateSolution(timed, *generation.solution).empty());
+    }
+    const Instance open(study.network, study.trains, study.openSchedule, study.resolution);
+    const auto optimization = optimizeSchedule(open);
+    if (optimization.feasible) {
+        EXPECT_TRUE(validateSolution(open, *optimization.solution).empty());
+    }
+}
+
+TEST_P(CorridorPropertyTest, LayoutRefinementIsMonotone) {
+    // If the schedule works on some layout, it also works on any refinement
+    // of that layout (more borders can only decouple trains).
+    const Instance timed(study.network, study.trains, study.timedSchedule, study.resolution);
+    const auto generation = generateLayout(timed);
+    if (!generation.feasible) {
+        GTEST_SKIP() << "instance infeasible even with free layout";
+    }
+    VssLayout refined = generation.solution->layout;
+    // Raise every remaining candidate border.
+    for (std::size_t n = 0; n < timed.graph().numNodes(); ++n) {
+        if (!timed.graph().node(SegNodeId(n)).fixedBorder) {
+            refined.setBorder(SegNodeId(n), true);
+        }
+    }
+    const auto verification = verifySchedule(timed, refined);
+    EXPECT_TRUE(verification.feasible);
+}
+
+TEST_P(CorridorPropertyTest, OptimizerIsMonotoneInHorizon) {
+    const Instance open(study.network, study.trains, study.openSchedule, study.resolution);
+    const auto base = optimizeSchedule(open);
+    if (!base.feasible) {
+        GTEST_SKIP() << "infeasible within the base horizon";
+    }
+    // Extending the horizon must not worsen the optimum.
+    rail::Schedule extended;
+    for (const auto& run : study.openSchedule.runs()) {
+        extended.addRun(run);
+    }
+    extended.setHorizon(Seconds(study.openSchedule.horizon().count() +
+                                4 * study.resolution.temporal.count()));
+    const Instance larger(study.network, study.trains, extended, study.resolution);
+    const auto more = optimizeSchedule(larger);
+    ASSERT_TRUE(more.feasible);
+    EXPECT_LE(more.completionSteps, base.completionSteps);
+}
+
+TEST_P(CorridorPropertyTest, SimulatorWitnessImpliesSat) {
+    // If the greedy simulator completes all routes on the finest layout
+    // within the horizon, the SAT optimizer must also find a plan that is at
+    // least as fast.
+    const Instance open(study.network, study.trains, study.openSchedule, study.resolution);
+    const auto& graph = open.graph();
+    std::vector<bool> allBorders(graph.numNodes(), true);
+    const sim::Simulator simulator(graph, allBorders);
+    std::vector<sim::SimTrain> simTrains;
+    for (const auto& run : open.runs()) {
+        sim::SimTrain t;
+        t.train = run.train;
+        t.route = graph.shortestPath(run.originSegment, run.destination().segment);
+        t.departureStep = run.departureStep;
+        t.lengthSegments = run.lengthSegments;
+        t.speedSegments = run.speedSegments;
+        simTrains.push_back(std::move(t));
+    }
+    const auto simResult = simulator.run(simTrains, open.horizonSteps() - 1);
+    if (!simResult.completed) {
+        GTEST_SKIP() << "greedy simulation did not finish (not a counterexample)";
+    }
+    const auto optimization = optimizeSchedule(open);
+    ASSERT_TRUE(optimization.feasible)
+        << "simulator found a witness but the optimizer reported infeasible";
+    // Note: the greedy simulator is not bound by the encoding's conservative
+    // one-step headway (C4), so it can be faster; but the optimizer must at
+    // least finish within the horizon, which we already asserted.
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CorridorPropertyTest,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(1, 2, 3)),
+                         [](const ::testing::TestParamInfo<CorridorCase>& info) {
+                             return "s" + std::to_string(std::get<0>(info.param)) + "_t" +
+                                    std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(Property, GenerationOptimumNeverExceedsFinestLayoutSections) {
+    const auto study = studies::runningExample();
+    const Instance timed(study.network, study.trains, study.timedSchedule, study.resolution);
+    const auto generation = generateLayout(timed);
+    ASSERT_TRUE(generation.feasible);
+    const auto finest = VssLayout::finest(timed.graph());
+    EXPECT_LE(generation.sectionCount, finest.sectionCount(timed.graph()));
+}
+
+TEST(Property, VerifyGenerateConsistency) {
+    // generateLayout is feasible iff verification on the finest layout is
+    // feasible (the finest layout dominates all layouts).
+    for (int trains = 1; trains <= 3; ++trains) {
+        const auto study = studies::corridor(3, trains, Meters::fromKilometers(2.0),
+                                             Resolution{Meters(500), Seconds(60)});
+        const Instance timed(study.network, study.trains, study.timedSchedule,
+                             study.resolution);
+        const auto finest = VssLayout::finest(timed.graph());
+        const bool verifyFinest = verifySchedule(timed, finest).feasible;
+        const bool generate = generateLayout(timed).feasible;
+        EXPECT_EQ(verifyFinest, generate) << "trains=" << trains;
+    }
+}
+
+}  // namespace
+}  // namespace etcs::core

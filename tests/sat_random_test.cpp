@@ -1,0 +1,190 @@
+// Property tests: the CDCL solver agrees with brute-force enumeration on
+// random formulas across clause densities, and its models satisfy every
+// clause.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/solver.hpp"
+
+namespace etcs::sat {
+namespace {
+
+struct RandomCnf {
+    int numVariables;
+    std::vector<std::vector<Literal>> clauses;
+};
+
+RandomCnf makeRandomCnf(std::mt19937& rng, int numVariables, int numClauses, int clauseSize) {
+    RandomCnf cnf;
+    cnf.numVariables = numVariables;
+    std::uniform_int_distribution<int> varDist(0, numVariables - 1);
+    std::bernoulli_distribution signDist(0.5);
+    for (int c = 0; c < numClauses; ++c) {
+        std::vector<Literal> clause;
+        for (int k = 0; k < clauseSize; ++k) {
+            clause.push_back(Literal(varDist(rng), signDist(rng)));
+        }
+        cnf.clauses.push_back(std::move(clause));
+    }
+    return cnf;
+}
+
+bool bruteForceSat(const RandomCnf& cnf) {
+    for (std::uint32_t assignment = 0; assignment < (1u << cnf.numVariables); ++assignment) {
+        bool allSatisfied = true;
+        for (const auto& clause : cnf.clauses) {
+            bool satisfied = false;
+            for (Literal l : clause) {
+                const bool value = ((assignment >> l.var()) & 1u) != 0;
+                if (value != l.sign()) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (!satisfied) {
+                allSatisfied = false;
+                break;
+            }
+        }
+        if (allSatisfied) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool modelSatisfies(const Solver& solver, const RandomCnf& cnf) {
+    for (const auto& clause : cnf.clauses) {
+        bool satisfied = false;
+        for (Literal l : clause) {
+            if (solver.modelValue(l) == Value::True) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (!satisfied) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// (variables, clause-count multiplier x10, clause size, seed)
+using RandomCase = std::tuple<int, int, int, unsigned>;
+
+class RandomCnfTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(RandomCnfTest, AgreesWithBruteForce) {
+    const auto [numVariables, densityX10, clauseSize, seed] = GetParam();
+    std::mt19937 rng(seed);
+    const int numClauses = numVariables * densityX10 / 10;
+    for (int round = 0; round < 12; ++round) {
+        const RandomCnf cnf = makeRandomCnf(rng, numVariables, numClauses, clauseSize);
+        Solver solver;
+        for (int v = 0; v < cnf.numVariables; ++v) {
+            solver.addVariable();
+        }
+        for (const auto& clause : cnf.clauses) {
+            solver.addClause(clause);
+        }
+        const SolveStatus status = solver.solve();
+        const bool expected = bruteForceSat(cnf);
+        ASSERT_EQ(status, expected ? SolveStatus::Sat : SolveStatus::Unsat)
+            << "vars=" << numVariables << " clauses=" << numClauses << " round=" << round;
+        if (status == SolveStatus::Sat) {
+            EXPECT_TRUE(modelSatisfies(solver, cnf));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitySweep, RandomCnfTest,
+    ::testing::Values(
+        // Under-constrained (mostly SAT), critical (~4.3 for 3-SAT), and
+        // over-constrained (mostly UNSAT) regions, plus 2-SAT mixes.
+        RandomCase{8, 20, 3, 1}, RandomCase{8, 43, 3, 2}, RandomCase{8, 70, 3, 3},
+        RandomCase{10, 43, 3, 4}, RandomCase{12, 43, 3, 5}, RandomCase{14, 43, 3, 6},
+        RandomCase{10, 10, 2, 7}, RandomCase{10, 20, 2, 8}, RandomCase{10, 30, 2, 9},
+        RandomCase{12, 55, 4, 10}, RandomCase{9, 60, 3, 11}, RandomCase{15, 42, 3, 12}));
+
+class RandomAssumptionTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomAssumptionTest, AssumptionsMatchHardUnits) {
+    // Solving under assumptions must match solving with the same literals
+    // added as unit clauses to a fresh solver.
+    std::mt19937 rng(GetParam());
+    for (int round = 0; round < 10; ++round) {
+        const RandomCnf cnf = makeRandomCnf(rng, 10, 38, 3);
+        std::uniform_int_distribution<int> varDist(0, 9);
+        std::bernoulli_distribution signDist(0.5);
+        std::vector<Literal> assumptions;
+        for (int i = 0; i < 3; ++i) {
+            assumptions.push_back(Literal(varDist(rng), signDist(rng)));
+        }
+
+        Solver incremental;
+        Solver oneShot;
+        for (int v = 0; v < 10; ++v) {
+            incremental.addVariable();
+            oneShot.addVariable();
+        }
+        for (const auto& clause : cnf.clauses) {
+            incremental.addClause(clause);
+            oneShot.addClause(clause);
+        }
+        bool oneShotOk = true;
+        for (Literal l : assumptions) {
+            oneShotOk = oneShot.addClause({l}) && oneShotOk;
+        }
+        const SolveStatus viaAssumptions = incremental.solve(assumptions);
+        const SolveStatus viaUnits = oneShotOk ? oneShot.solve() : SolveStatus::Unsat;
+        EXPECT_EQ(viaAssumptions, viaUnits) << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssumptionTest, ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(RandomCnf, CoreIsActuallyUnsat) {
+    // Every reported conflict core, added as units, must be unsatisfiable.
+    std::mt19937 rng(99);
+    int coresChecked = 0;
+    for (int round = 0; round < 40 && coresChecked < 8; ++round) {
+        const RandomCnf cnf = makeRandomCnf(rng, 10, 35, 3);
+        std::uniform_int_distribution<int> varDist(0, 9);
+        std::bernoulli_distribution signDist(0.5);
+        std::vector<Literal> assumptions;
+        for (int i = 0; i < 5; ++i) {
+            assumptions.push_back(Literal(varDist(rng), signDist(rng)));
+        }
+        Solver solver;
+        for (int v = 0; v < 10; ++v) {
+            solver.addVariable();
+        }
+        for (const auto& clause : cnf.clauses) {
+            solver.addClause(clause);
+        }
+        if (solver.solve(assumptions) != SolveStatus::Unsat || !solver.okay()) {
+            continue;
+        }
+        const std::vector<Literal> core = solver.conflictCore();
+        ASSERT_FALSE(core.empty());
+        Solver check;
+        for (int v = 0; v < 10; ++v) {
+            check.addVariable();
+        }
+        for (const auto& clause : cnf.clauses) {
+            check.addClause(clause);
+        }
+        bool stillOk = true;
+        for (Literal l : core) {
+            stillOk = check.addClause({l}) && stillOk;
+        }
+        EXPECT_TRUE(!stillOk || check.solve() == SolveStatus::Unsat);
+        ++coresChecked;
+    }
+    EXPECT_GT(coresChecked, 0);
+}
+
+}  // namespace
+}  // namespace etcs::sat

@@ -1,0 +1,186 @@
+// Movement-authority simulator tests.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "studies/studies.hpp"
+
+namespace etcs::sim {
+namespace {
+
+using rail::Network;
+using rail::SegmentGraph;
+
+/// Single 5-segment line in one TTD.
+struct LineFixture {
+    Network network;
+    std::unique_ptr<SegmentGraph> graph;
+
+    LineFixture() : network("simline") {
+        const auto a = network.addNode("A");
+        const auto b = network.addNode("B");
+        const auto t = network.addTrack("t", a, b, Meters(2500));
+        network.addTtd("T", {t});
+        graph = std::make_unique<SegmentGraph>(network, Resolution{Meters(500), Seconds(30)});
+    }
+
+    [[nodiscard]] rail::SegmentPath fullRoute() const {
+        rail::SegmentPath route;
+        for (std::size_t i = 0; i < graph->numSegments(); ++i) {
+            route.push_back(SegmentId(i));
+        }
+        return route;
+    }
+};
+
+TEST(Simulator, SingleTrainRunsToDestination) {
+    const LineFixture f;
+    const Simulator sim(*f.graph, std::vector<bool>(f.graph->numNodes(), false));
+    SimTrain train{TrainId(0u), f.fullRoute(), 0, 1, 2};
+    const auto result = sim.run({&train, 1}, 20);
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.deadlocked);
+    // 4 hops at 2 per step: arrival on step 2 (0-indexed steps).
+    EXPECT_EQ(result.arrivalStep[0], 2);
+}
+
+TEST(Simulator, DelayedDeparture) {
+    const LineFixture f;
+    const Simulator sim(*f.graph, std::vector<bool>(f.graph->numNodes(), false));
+    SimTrain train{TrainId(0u), f.fullRoute(), 3, 1, 2};
+    const auto result = sim.run({&train, 1}, 20);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.arrivalStep[0], 5);
+}
+
+TEST(Simulator, FollowerBlocksOnPureTtd) {
+    const LineFixture f;
+    // One TTD, no VSS: the follower cannot even enter until the leader
+    // arrives and leaves the network.
+    const Simulator sim(*f.graph, std::vector<bool>(f.graph->numNodes(), false));
+    const auto route = f.fullRoute();
+    SimTrain trains[] = {{TrainId(0u), route, 0, 1, 1}, {TrainId(1u), route, 1, 1, 1}};
+    const auto result = sim.run(trains, 30);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.arrivalStep[0], 4);
+    // Leader arrives at 4 and leaves; follower enters afterwards.
+    EXPECT_GT(result.arrivalStep[1], 5);
+}
+
+TEST(Simulator, FollowerTracksCloselyWithVss) {
+    const LineFixture f;
+    // Every node a border: each segment its own VSS.
+    const Simulator sim(*f.graph, std::vector<bool>(f.graph->numNodes(), true));
+    const auto route = f.fullRoute();
+    SimTrain trains[] = {{TrainId(0u), route, 0, 1, 1}, {TrainId(1u), route, 1, 1, 1}};
+    const auto result = sim.run(trains, 30);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.arrivalStep[0], 4);
+    EXPECT_LE(result.arrivalStep[1], 7);  // close following, small delay only
+}
+
+TEST(Simulator, HeadOnTrainsDeadlockOnSingleTrack) {
+    const LineFixture f;
+    const Simulator sim(*f.graph, std::vector<bool>(f.graph->numNodes(), true));
+    rail::SegmentPath forward = f.fullRoute();
+    rail::SegmentPath backward(forward.rbegin(), forward.rend());
+    SimTrain trains[] = {{TrainId(0u), forward, 0, 1, 1}, {TrainId(1u), backward, 0, 1, 1}};
+    const auto result = sim.run(trains, 30);
+    EXPECT_FALSE(result.completed);
+    EXPECT_TRUE(result.deadlocked);
+}
+
+TEST(Simulator, MaxStepsExceededIsNeitherCompletedNorDeadlocked) {
+    const LineFixture f;
+    const Simulator sim(*f.graph, std::vector<bool>(f.graph->numNodes(), false));
+    SimTrain train{TrainId(0u), f.fullRoute(), 10, 1, 1};  // departs after maxSteps
+    const auto result = sim.run({&train, 1}, 5);
+    EXPECT_FALSE(result.completed);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_EQ(result.stepsSimulated, 5);
+}
+
+TEST(Simulator, LongTrainOccupiesItsLength) {
+    const LineFixture f;
+    const Simulator sim(*f.graph, std::vector<bool>(f.graph->numNodes(), true));
+    SimTrain train{TrainId(0u), f.fullRoute(), 0, 2, 1};
+    const auto result = sim.run({&train, 1}, 20);
+    ASSERT_TRUE(result.completed);
+    // While mid-route the snapshot shows two occupied segments.
+    bool sawTwo = false;
+    for (const auto& step : result.timeline) {
+        if (step[0].present && step[0].occupied.size() == 2) {
+            sawTwo = true;
+        }
+    }
+    EXPECT_TRUE(sawTwo);
+}
+
+TEST(Simulator, TimelineMatchesArrivals) {
+    const LineFixture f;
+    const Simulator sim(*f.graph, std::vector<bool>(f.graph->numNodes(), false));
+    SimTrain train{TrainId(0u), f.fullRoute(), 0, 1, 2};
+    const auto result = sim.run({&train, 1}, 20);
+    ASSERT_TRUE(result.completed);
+    // After its arrival step the train is no longer present.
+    for (int step = result.arrivalStep[0]; step < result.stepsSimulated; ++step) {
+        EXPECT_FALSE(result.timeline[static_cast<std::size_t>(step)][0].present);
+    }
+}
+
+TEST(Simulator, CrossingAtLoopSucceeds) {
+    // Two stations joined by a line, with a two-track loop in the middle:
+    // opposing trains pass each other there.
+    Network n("loop");
+    const auto a = n.addNode("A");
+    const auto u = n.addNode("u");
+    const auto v = n.addNode("v");
+    const auto b = n.addNode("B");
+    const auto t1 = n.addTrack("west", a, u, Meters(1000));
+    const auto la = n.addTrack("loopA", u, v, Meters(500));
+    const auto lb = n.addTrack("loopB", u, v, Meters(500));
+    const auto t2 = n.addTrack("east", v, b, Meters(1000));
+    n.addTtd("Tw", {t1});
+    n.addTtd("Tla", {la});
+    n.addTtd("Tlb", {lb});
+    n.addTtd("Te", {t2});
+    const SegmentGraph g(n, Resolution{Meters(500), Seconds(30)});
+
+    // Routes: east-bound through loopA, west-bound through loopB.
+    auto seg = [&](const char* track, int index) {
+        for (std::size_t s = 0; s < g.numSegments(); ++s) {
+            const auto& segment = g.segment(SegmentId(s));
+            if (n.track(segment.track).name == track && segment.indexInTrack == index) {
+                return SegmentId(s);
+            }
+        }
+        throw std::logic_error("segment not found");
+    };
+    const rail::SegmentPath eastRoute = {seg("west", 0), seg("west", 1), seg("loopA", 0),
+                                         seg("east", 0), seg("east", 1)};
+    const rail::SegmentPath westRoute = {seg("east", 1), seg("east", 0), seg("loopB", 0),
+                                         seg("west", 1), seg("west", 0)};
+    const Simulator sim(g, std::vector<bool>(g.numNodes(), false));
+    SimTrain trains[] = {{TrainId(0u), eastRoute, 0, 1, 1}, {TrainId(1u), westRoute, 0, 1, 1}};
+    const auto result = sim.run(trains, 40);
+    EXPECT_TRUE(result.completed) << "trains should pass at the loop";
+}
+
+TEST(Simulator, RejectsEmptyRoute) {
+    const LineFixture f;
+    const Simulator sim(*f.graph, std::vector<bool>(f.graph->numNodes(), false));
+    SimTrain train{TrainId(0u), {}, 0, 1, 1};
+    EXPECT_THROW((void)sim.run({&train, 1}, 5), PreconditionError);
+}
+
+TEST(Simulator, SectionLookupMatchesLayout) {
+    const LineFixture f;
+    std::vector<bool> borders(f.graph->numNodes(), false);
+    const Simulator pure(*f.graph, borders);
+    EXPECT_EQ(pure.numSections(), 1);
+    const Simulator fine(*f.graph, std::vector<bool>(f.graph->numNodes(), true));
+    EXPECT_EQ(fine.numSections(), static_cast<int>(f.graph->numSegments()));
+    EXPECT_NE(fine.sectionOf(SegmentId(0u)), fine.sectionOf(SegmentId(1u)));
+}
+
+}  // namespace
+}  // namespace etcs::sim
