@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_optimized_schedule.dir/fig2_optimized_schedule.cpp.o"
+  "CMakeFiles/fig2_optimized_schedule.dir/fig2_optimized_schedule.cpp.o.d"
+  "fig2_optimized_schedule"
+  "fig2_optimized_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_optimized_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

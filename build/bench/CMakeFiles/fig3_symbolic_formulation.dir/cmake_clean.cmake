@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_symbolic_formulation.dir/fig3_symbolic_formulation.cpp.o"
+  "CMakeFiles/fig3_symbolic_formulation.dir/fig3_symbolic_formulation.cpp.o.d"
+  "fig3_symbolic_formulation"
+  "fig3_symbolic_formulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_symbolic_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_networks.dir/fig4_networks.cpp.o"
+  "CMakeFiles/fig4_networks.dir/fig4_networks.cpp.o.d"
+  "fig4_networks"
+  "fig4_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

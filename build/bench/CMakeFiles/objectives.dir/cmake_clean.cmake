@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objectives.dir/objectives.cpp.o"
+  "CMakeFiles/objectives.dir/objectives.cpp.o.d"
+  "objectives"
+  "objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

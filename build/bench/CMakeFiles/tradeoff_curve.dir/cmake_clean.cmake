@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_curve.dir/tradeoff_curve.cpp.o"
+  "CMakeFiles/tradeoff_curve.dir/tradeoff_curve.cpp.o.d"
+  "tradeoff_curve"
+  "tradeoff_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

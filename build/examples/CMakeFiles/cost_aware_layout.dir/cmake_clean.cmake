@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_aware_layout.dir/cost_aware_layout.cpp.o"
+  "CMakeFiles/cost_aware_layout.dir/cost_aware_layout.cpp.o.d"
+  "cost_aware_layout"
+  "cost_aware_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_aware_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

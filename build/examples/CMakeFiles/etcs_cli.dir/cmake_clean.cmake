@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcs_cli.dir/etcs_cli.cpp.o"
+  "CMakeFiles/etcs_cli.dir/etcs_cli.cpp.o.d"
+  "etcs_cli"
+  "etcs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

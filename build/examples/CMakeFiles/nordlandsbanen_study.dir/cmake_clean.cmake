@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nordlandsbanen_study.dir/nordlandsbanen_study.cpp.o"
+  "CMakeFiles/nordlandsbanen_study.dir/nordlandsbanen_study.cpp.o.d"
+  "nordlandsbanen_study"
+  "nordlandsbanen_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nordlandsbanen_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/etcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/studies/CMakeFiles/etcs_studies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/etcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/etcs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/etcs_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/etcs_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/railway/CMakeFiles/etcs_railway.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

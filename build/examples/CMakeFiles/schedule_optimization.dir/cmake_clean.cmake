@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_optimization.dir/schedule_optimization.cpp.o"
+  "CMakeFiles/schedule_optimization.dir/schedule_optimization.cpp.o.d"
+  "schedule_optimization"
+  "schedule_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnf/amo.cpp" "src/cnf/CMakeFiles/etcs_cnf.dir/amo.cpp.o" "gcc" "src/cnf/CMakeFiles/etcs_cnf.dir/amo.cpp.o.d"
+  "/root/repo/src/cnf/cardinality.cpp" "src/cnf/CMakeFiles/etcs_cnf.dir/cardinality.cpp.o" "gcc" "src/cnf/CMakeFiles/etcs_cnf.dir/cardinality.cpp.o.d"
+  "/root/repo/src/cnf/internal_backend.cpp" "src/cnf/CMakeFiles/etcs_cnf.dir/internal_backend.cpp.o" "gcc" "src/cnf/CMakeFiles/etcs_cnf.dir/internal_backend.cpp.o.d"
+  "/root/repo/src/cnf/z3_backend.cpp" "src/cnf/CMakeFiles/etcs_cnf.dir/z3_backend.cpp.o" "gcc" "src/cnf/CMakeFiles/etcs_cnf.dir/z3_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/etcs_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcs_cnf.dir/amo.cpp.o"
+  "CMakeFiles/etcs_cnf.dir/amo.cpp.o.d"
+  "CMakeFiles/etcs_cnf.dir/cardinality.cpp.o"
+  "CMakeFiles/etcs_cnf.dir/cardinality.cpp.o.d"
+  "CMakeFiles/etcs_cnf.dir/internal_backend.cpp.o"
+  "CMakeFiles/etcs_cnf.dir/internal_backend.cpp.o.d"
+  "CMakeFiles/etcs_cnf.dir/z3_backend.cpp.o"
+  "CMakeFiles/etcs_cnf.dir/z3_backend.cpp.o.d"
+  "libetcs_cnf.a"
+  "libetcs_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcs_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/etcs_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/etcs_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/encoder.cpp" "src/core/CMakeFiles/etcs_core.dir/encoder.cpp.o" "gcc" "src/core/CMakeFiles/etcs_core.dir/encoder.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/etcs_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/etcs_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/tasks.cpp" "src/core/CMakeFiles/etcs_core.dir/tasks.cpp.o" "gcc" "src/core/CMakeFiles/etcs_core.dir/tasks.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/core/CMakeFiles/etcs_core.dir/validator.cpp.o" "gcc" "src/core/CMakeFiles/etcs_core.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/railway/CMakeFiles/etcs_railway.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/etcs_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/etcs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/etcs_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

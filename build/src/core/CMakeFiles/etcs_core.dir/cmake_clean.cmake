@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcs_core.dir/analysis.cpp.o"
+  "CMakeFiles/etcs_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/etcs_core.dir/encoder.cpp.o"
+  "CMakeFiles/etcs_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/etcs_core.dir/instance.cpp.o"
+  "CMakeFiles/etcs_core.dir/instance.cpp.o.d"
+  "CMakeFiles/etcs_core.dir/tasks.cpp.o"
+  "CMakeFiles/etcs_core.dir/tasks.cpp.o.d"
+  "CMakeFiles/etcs_core.dir/validator.cpp.o"
+  "CMakeFiles/etcs_core.dir/validator.cpp.o.d"
+  "libetcs_core.a"
+  "libetcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcs_opt.dir/minimize.cpp.o"
+  "CMakeFiles/etcs_opt.dir/minimize.cpp.o.d"
+  "libetcs_opt.a"
+  "libetcs_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcs_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/railway/dot.cpp" "src/railway/CMakeFiles/etcs_railway.dir/dot.cpp.o" "gcc" "src/railway/CMakeFiles/etcs_railway.dir/dot.cpp.o.d"
+  "/root/repo/src/railway/io.cpp" "src/railway/CMakeFiles/etcs_railway.dir/io.cpp.o" "gcc" "src/railway/CMakeFiles/etcs_railway.dir/io.cpp.o.d"
+  "/root/repo/src/railway/network.cpp" "src/railway/CMakeFiles/etcs_railway.dir/network.cpp.o" "gcc" "src/railway/CMakeFiles/etcs_railway.dir/network.cpp.o.d"
+  "/root/repo/src/railway/segment_graph.cpp" "src/railway/CMakeFiles/etcs_railway.dir/segment_graph.cpp.o" "gcc" "src/railway/CMakeFiles/etcs_railway.dir/segment_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

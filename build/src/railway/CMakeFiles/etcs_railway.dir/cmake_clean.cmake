@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcs_railway.dir/dot.cpp.o"
+  "CMakeFiles/etcs_railway.dir/dot.cpp.o.d"
+  "CMakeFiles/etcs_railway.dir/io.cpp.o"
+  "CMakeFiles/etcs_railway.dir/io.cpp.o.d"
+  "CMakeFiles/etcs_railway.dir/network.cpp.o"
+  "CMakeFiles/etcs_railway.dir/network.cpp.o.d"
+  "CMakeFiles/etcs_railway.dir/segment_graph.cpp.o"
+  "CMakeFiles/etcs_railway.dir/segment_graph.cpp.o.d"
+  "libetcs_railway.a"
+  "libetcs_railway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcs_railway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for etcs_railway.
+# This may be replaced when dependencies are built.

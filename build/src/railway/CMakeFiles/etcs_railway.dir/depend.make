@@ -1,0 +1,2 @@
+# Empty dependencies file for etcs_railway.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcs_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/etcs_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/etcs_sat.dir/preprocess.cpp.o"
+  "CMakeFiles/etcs_sat.dir/preprocess.cpp.o.d"
+  "CMakeFiles/etcs_sat.dir/solver.cpp.o"
+  "CMakeFiles/etcs_sat.dir/solver.cpp.o.d"
+  "libetcs_sat.a"
+  "libetcs_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcs_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

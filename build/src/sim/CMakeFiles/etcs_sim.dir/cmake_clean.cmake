@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/etcs_sim.dir/simulator.cpp.o.d"
+  "libetcs_sim.a"
+  "libetcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libetcs_sim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/studies/complex_layout.cpp" "src/studies/CMakeFiles/etcs_studies.dir/complex_layout.cpp.o" "gcc" "src/studies/CMakeFiles/etcs_studies.dir/complex_layout.cpp.o.d"
+  "/root/repo/src/studies/corridor.cpp" "src/studies/CMakeFiles/etcs_studies.dir/corridor.cpp.o" "gcc" "src/studies/CMakeFiles/etcs_studies.dir/corridor.cpp.o.d"
+  "/root/repo/src/studies/nordlandsbanen.cpp" "src/studies/CMakeFiles/etcs_studies.dir/nordlandsbanen.cpp.o" "gcc" "src/studies/CMakeFiles/etcs_studies.dir/nordlandsbanen.cpp.o.d"
+  "/root/repo/src/studies/running_example.cpp" "src/studies/CMakeFiles/etcs_studies.dir/running_example.cpp.o" "gcc" "src/studies/CMakeFiles/etcs_studies.dir/running_example.cpp.o.d"
+  "/root/repo/src/studies/simple_layout.cpp" "src/studies/CMakeFiles/etcs_studies.dir/simple_layout.cpp.o" "gcc" "src/studies/CMakeFiles/etcs_studies.dir/simple_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/railway/CMakeFiles/etcs_railway.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

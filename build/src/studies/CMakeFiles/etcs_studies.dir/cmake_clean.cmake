@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcs_studies.dir/complex_layout.cpp.o"
+  "CMakeFiles/etcs_studies.dir/complex_layout.cpp.o.d"
+  "CMakeFiles/etcs_studies.dir/corridor.cpp.o"
+  "CMakeFiles/etcs_studies.dir/corridor.cpp.o.d"
+  "CMakeFiles/etcs_studies.dir/nordlandsbanen.cpp.o"
+  "CMakeFiles/etcs_studies.dir/nordlandsbanen.cpp.o.d"
+  "CMakeFiles/etcs_studies.dir/running_example.cpp.o"
+  "CMakeFiles/etcs_studies.dir/running_example.cpp.o.d"
+  "CMakeFiles/etcs_studies.dir/simple_layout.cpp.o"
+  "CMakeFiles/etcs_studies.dir/simple_layout.cpp.o.d"
+  "libetcs_studies.a"
+  "libetcs_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcs_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_test.dir/amo_test.cpp.o"
+  "CMakeFiles/amo_test.dir/amo_test.cpp.o.d"
+  "amo_test"
+  "amo_test.pdb"
+  "amo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

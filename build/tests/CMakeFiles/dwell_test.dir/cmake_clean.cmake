@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwell_test.dir/dwell_test.cpp.o"
+  "CMakeFiles/dwell_test.dir/dwell_test.cpp.o.d"
+  "dwell_test"
+  "dwell_test.pdb"
+  "dwell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_random_test.dir/sat_random_test.cpp.o"
+  "CMakeFiles/sat_random_test.dir/sat_random_test.cpp.o.d"
+  "sat_random_test"
+  "sat_random_test.pdb"
+  "sat_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

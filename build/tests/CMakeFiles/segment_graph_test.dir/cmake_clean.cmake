@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_graph_test.dir/segment_graph_test.cpp.o"
+  "CMakeFiles/segment_graph_test.dir/segment_graph_test.cpp.o.d"
+  "segment_graph_test"
+  "segment_graph_test.pdb"
+  "segment_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

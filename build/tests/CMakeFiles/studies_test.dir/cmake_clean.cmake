@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/studies_test.dir/studies_test.cpp.o"
+  "CMakeFiles/studies_test.dir/studies_test.cpp.o.d"
+  "studies_test"
+  "studies_test.pdb"
+  "studies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/studies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

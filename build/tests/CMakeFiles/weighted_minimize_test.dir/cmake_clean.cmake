@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_minimize_test.dir/weighted_minimize_test.cpp.o"
+  "CMakeFiles/weighted_minimize_test.dir/weighted_minimize_test.cpp.o.d"
+  "weighted_minimize_test"
+  "weighted_minimize_test.pdb"
+  "weighted_minimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_minimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_random_test[1]_include.cmake")
+include("/root/repo/build/tests/dimacs_test[1]_include.cmake")
+include("/root/repo/build/tests/amo_test[1]_include.cmake")
+include("/root/repo/build/tests/formula_test[1]_include.cmake")
+include("/root/repo/build/tests/cardinality_test[1]_include.cmake")
+include("/root/repo/build/tests/minimize_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_minimize_test[1]_include.cmake")
+include("/root/repo/build/tests/preprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/dot_test[1]_include.cmake")
+include("/root/repo/build/tests/segment_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/dwell_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/tasks_test[1]_include.cmake")
+include("/root/repo/build/tests/validator_test[1]_include.cmake")
+include("/root/repo/build/tests/studies_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/collect_test[1]_include.cmake")
