@@ -7,14 +7,35 @@
 /// Printed as tables in the spirit of Table I.
 #include <iomanip>
 #include <iostream>
+#include <string>
 
 #include "core/instance.hpp"
 #include "core/tasks.hpp"
+#include "obs/metrics.hpp"
 #include "studies/studies.hpp"
 
 using namespace etcs;
 
 namespace {
+
+/// Mirror one scaling data point into the metrics registry under
+/// scaling.<series>.<point>.<field> so the final registry dump doubles as a
+/// machine-readable result file.
+void recordPoint(const std::string& series, const std::string& point,
+                 const core::Instance& instance, const core::GenerationResult& result) {
+    auto& registry = obs::Registry::global();
+    const std::string prefix = "scaling." + series + "." + point + ".";
+    registry.gauge(prefix + "segments")
+        .set(static_cast<double>(instance.graph().numSegments()));
+    registry.gauge(prefix + "steps").set(instance.horizonSteps());
+    registry.gauge(prefix + "variables").set(result.stats.numVariables);
+    registry.gauge(prefix + "clauses").set(static_cast<double>(result.stats.numClauses));
+    registry.gauge(prefix + "sat").set(result.feasible ? 1 : 0);
+    registry.gauge(prefix + "runtime_seconds").set(result.stats.runtimeSeconds);
+    registry.gauge(prefix + "conflicts").set(static_cast<double>(result.stats.conflicts));
+    registry.gauge(prefix + "propagations")
+        .set(static_cast<double>(result.stats.propagations));
+}
 
 void corridorScaling() {
     std::cout << "S1a: corridor length scaling (3 trains, 2 km spacing, r_s = 0.5 km, "
@@ -29,6 +50,7 @@ void corridorScaling() {
         const core::Instance instance(study.network, study.trains, study.timedSchedule,
                                       study.resolution);
         const auto result = core::generateLayout(instance);
+        recordPoint("corridor", "stations_" + std::to_string(stations), instance, result);
         std::cout << std::setw(9) << stations << std::setw(10)
                   << instance.graph().numSegments() << std::setw(8)
                   << instance.horizonSteps() << std::setw(9) << result.stats.numVariables
@@ -50,6 +72,7 @@ void trainScaling() {
         const core::Instance instance(study.network, study.trains, study.timedSchedule,
                                       study.resolution);
         const auto result = core::generateLayout(instance);
+        recordPoint("trains", "trains_" + std::to_string(trains), instance, result);
         std::cout << std::setw(7) << trains << std::setw(9) << result.stats.numVariables
                   << std::setw(10) << result.stats.numClauses << std::setw(6)
                   << (result.feasible ? "yes" : "no") << std::setw(12) << std::fixed
@@ -76,6 +99,10 @@ void resolutionScaling() {
         const core::Instance instance(base.network, base.trains, base.timedSchedule,
                                       resolution);
         const auto result = core::generateLayout(instance);
+        recordPoint("resolution",
+                    "rs_" + std::to_string(static_cast<int>(g.rsKm * 1000)) + "m_rt_" +
+                        std::to_string(static_cast<int>(g.rtMin * 60)) + "s",
+                    instance, result);
         std::cout << std::setw(10) << g.rsKm << std::setw(10) << g.rtMin << std::setw(10)
                   << instance.graph().numSegments() << std::setw(8)
                   << instance.horizonSteps() << std::setw(9) << result.stats.numVariables
@@ -93,5 +120,9 @@ int main() {
     corridorScaling();
     trainScaling();
     resolutionScaling();
+    const char* metricsFile = "BENCH_scaling.json";
+    if (obs::Registry::global().writeJsonFile(metricsFile)) {
+        std::cout << "metrics written to " << metricsFile << "\n";
+    }
     return 0;
 }

@@ -6,6 +6,7 @@
 /// Z3 (Z3Backend) for cross-validation.
 #pragma once
 
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <span>
@@ -50,6 +51,23 @@ public:
     /// After Unsat under assumptions: a subset of the assumptions that is
     /// jointly unsatisfiable with the formula.
     [[nodiscard]] virtual std::vector<Literal> conflictCore() const = 0;
+
+    /// Solver work counters accumulated over every solve() so far. The
+    /// internal backend exposes its CDCL counters directly; other backends
+    /// fill in what their solver reports (unavailable entries stay 0).
+    [[nodiscard]] virtual const sat::SolverStats& stats() const = 0;
+
+    /// Install a cooperative progress/cancellation hook, invoked every
+    /// `everyConflicts` conflicts during each solve (see sat::ProgressCallback;
+    /// returning false makes solve() return SolveStatus::Unknown). Returns
+    /// false when the backend cannot support progress reporting, in which
+    /// case the callback is never invoked. Pass an empty callback to clear.
+    virtual bool setProgressCallback(sat::ProgressCallback callback,
+                                     std::uint64_t everyConflicts = 16384) {
+        (void)callback;
+        (void)everyConflicts;
+        return false;
+    }
 
     /// Human-readable backend name (for reports and logs).
     [[nodiscard]] virtual std::string name() const = 0;

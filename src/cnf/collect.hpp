@@ -26,6 +26,7 @@ public:
     SolveStatus solve(std::span<const Literal>) override { return SolveStatus::Unknown; }
     [[nodiscard]] bool modelValue(Literal) const override { return false; }
     [[nodiscard]] std::vector<Literal> conflictCore() const override { return {}; }
+    [[nodiscard]] const sat::SolverStats& stats() const override { return stats_; }
     [[nodiscard]] std::string name() const override { return "collector"; }
 
     /// The recorded formula, ready for sat::writeDimacs or a real solver.
@@ -43,6 +44,7 @@ public:
 private:
     Var numVariables_ = 0;
     std::vector<std::vector<Literal>> clauses_;
+    sat::SolverStats stats_;  ///< collector never solves; all counters stay 0
 };
 
 }  // namespace etcs::cnf

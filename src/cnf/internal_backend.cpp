@@ -1,5 +1,9 @@
 #include "cnf/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sat/solver.hpp"
+
+#include <chrono>
 
 namespace etcs::cnf {
 
@@ -18,7 +22,14 @@ public:
     }
 
     SolveStatus solve(std::span<const Literal> assumptions) override {
-        return solver_.solve(assumptions);
+        const obs::Span span("sat.solve");
+        const sat::SolverStats before = solver_.stats();
+        const auto start = std::chrono::steady_clock::now();
+        const SolveStatus status = solver_.solve(assumptions);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        recordSolveMetrics(before, seconds, status);
+        return status;
     }
 
     bool modelValue(Literal l) const override {
@@ -27,9 +38,47 @@ public:
 
     std::vector<Literal> conflictCore() const override { return solver_.conflictCore(); }
 
+    const sat::SolverStats& stats() const override { return solver_.stats(); }
+
+    bool setProgressCallback(sat::ProgressCallback callback,
+                             std::uint64_t everyConflicts) override {
+        solver_.options().onProgress = std::move(callback);
+        solver_.options().progressInterval = std::max<std::uint64_t>(everyConflicts, 1);
+        return true;
+    }
+
     std::string name() const override { return "internal-cdcl"; }
 
 private:
+    void recordSolveMetrics(const sat::SolverStats& before, double seconds,
+                            SolveStatus status) {
+        const sat::SolverStats& after = solver_.stats();
+        auto& registry = obs::Registry::global();
+        registry.counter("etcs.sat.solves").increment();
+        registry.counter("etcs.sat.conflicts").add(after.conflicts - before.conflicts);
+        registry.counter("etcs.sat.propagations")
+            .add(after.propagations - before.propagations);
+        registry.counter("etcs.sat.decisions").add(after.decisions - before.decisions);
+        registry.counter("etcs.sat.restarts").add(after.restarts - before.restarts);
+        registry.histogram("etcs.sat.solve_seconds").observe(seconds);
+        if (obs::tracingEnabled()) {
+            obs::Tracer::counterValue("sat.conflicts", static_cast<double>(after.conflicts));
+            obs::Tracer::counterValue("sat.learnt_db",
+                                      static_cast<double>(solver_.numLearnedClauses()));
+        }
+        if (obs::logEnabled(obs::LogLevel::Debug)) {
+            std::string fields = ",\"status\":\"";
+            fields += status == SolveStatus::Sat     ? "sat"
+                      : status == SolveStatus::Unsat ? "unsat"
+                                                     : "unknown";
+            fields += "\",\"seconds\":" + std::to_string(seconds);
+            fields += ",\"conflicts\":" + std::to_string(after.conflicts - before.conflicts);
+            fields +=
+                ",\"propagations\":" + std::to_string(after.propagations - before.propagations);
+            obs::log(obs::LogLevel::Debug, "sat", "solve finished", fields);
+        }
+    }
+
     sat::Solver solver_;
     std::size_t clausesAdded_ = 0;
 };

@@ -41,7 +41,9 @@ public:
             assumptionExprs.push_back(toExpr(l));
             lastAssumptions_.emplace(toExpr(l).id(), l);
         }
-        switch (solver_.check(assumptionExprs)) {
+        const z3::check_result verdict = solver_.check(assumptionExprs);
+        harvestStatistics();
+        switch (verdict) {
             case z3::sat: {
                 model_ = std::make_unique<z3::model>(solver_.get_model());
                 return SolveStatus::Sat;
@@ -52,6 +54,8 @@ public:
                 return SolveStatus::Unknown;
         }
     }
+
+    const sat::SolverStats& stats() const override { return stats_; }
 
     bool modelValue(Literal l) const override {
         ETCS_REQUIRE_MSG(model_ != nullptr, "no model available");
@@ -80,12 +84,37 @@ private:
         return l.sign() ? !vars_[l.var()] : vars_[l.var()];
     }
 
+    /// Map Z3's self-reported statistics onto SolverStats (best effort; Z3
+    /// reports cumulative values, and key names vary between tactics, so
+    /// anything unrecognized simply stays 0).
+    void harvestStatistics() {
+        const z3::stats statistics = solver_.statistics();
+        for (unsigned i = 0; i < statistics.size(); ++i) {
+            const std::string key = statistics.key(i);
+            if (!statistics.is_uint(i)) {
+                continue;
+            }
+            const std::uint64_t value = statistics.uint_value(i);
+            if (key == "conflicts" || key == "sat conflicts") {
+                stats_.conflicts = value;
+            } else if (key == "propagations" || key == "sat propagations 2ary" ||
+                       key == "propagations 2ary") {
+                stats_.propagations = value;
+            } else if (key == "decisions" || key == "sat decisions") {
+                stats_.decisions = value;
+            } else if (key == "restarts" || key == "sat restarts") {
+                stats_.restarts = value;
+            }
+        }
+    }
+
     z3::context context_;
     z3::solver solver_;
     std::vector<z3::expr> vars_;
     std::unique_ptr<z3::model> model_;
     std::unordered_map<unsigned, Literal> lastAssumptions_;
     std::size_t clausesAdded_ = 0;
+    sat::SolverStats stats_;
 };
 
 }  // namespace

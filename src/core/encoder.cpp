@@ -1,8 +1,11 @@
 #include "core/encoder.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "cnf/formula.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace etcs::core {
 
@@ -96,31 +99,77 @@ void Encoder::createBorderVariables(const VssLayout* fixedLayout) {
     }
 }
 
+template <typename Fn>
+void Encoder::measured(const char* family, Fn&& fn) {
+    const obs::Span span(family);
+    const int varsBefore = backend_->numVariables();
+    const std::size_t clausesBefore = backend_->numClauses();
+    fn();
+    accumulateFamily(family, backend_->numVariables() - varsBefore,
+                     backend_->numClauses() - clausesBefore);
+}
+
+void Encoder::accumulateFamily(std::string_view family, int variables, std::size_t clauses) {
+    for (FamilyCounts& counts : familyCounts_) {
+        if (counts.family == family) {
+            counts.variables += variables;
+            counts.clauses += clauses;
+            return;
+        }
+    }
+    familyCounts_.push_back(FamilyCounts{family, variables, clauses});
+}
+
 void Encoder::encode(const VssLayout* fixedLayout) {
     ETCS_REQUIRE_MSG(!encoded_, "encode() may only be called once per Encoder");
     encoded_ = true;
     fixedLayout_ = fixedLayout;
     doneAll_.assign(static_cast<std::size_t>(instance_->horizonSteps()), Literal{});
 
-    createOccupiesVariables();
-    createDoneVariables();
-    createBorderVariables(fixedLayout);
+    const obs::Span span("encode");
+    measured("occupies_vars", [&] { createOccupiesVariables(); });
+    measured("done_vars", [&] { createDoneVariables(); });
+    measured("border_vars", [&] { createBorderVariables(fixedLayout); });
 
     for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
-        encodeChainOccupancy(run);
-        encodeMovement(run);
-        encodeDoneMachinery(run);
-        encodeSchedulePins(run);
+        measured("chain_occupancy", [&] { encodeChainOccupancy(run); });
+        measured("movement", [&] { encodeMovement(run); });
+        measured("done_machinery", [&] { encodeDoneMachinery(run); });
+        measured("schedule_pins", [&] { encodeSchedulePins(run); });
     }
-    for (std::size_t r1 = 0; r1 < instance_->numRuns(); ++r1) {
-        for (std::size_t r2 = r1 + 1; r2 < instance_->numRuns(); ++r2) {
-            encodeVssSeparation(r1, r2, fixedLayout);
+    measured("vss_separation", [&] {
+        for (std::size_t r1 = 0; r1 < instance_->numRuns(); ++r1) {
+            for (std::size_t r2 = r1 + 1; r2 < instance_->numRuns(); ++r2) {
+                encodeVssSeparation(r1, r2, fixedLayout);
+            }
         }
-    }
+    });
     if (options_.encodePassThrough && instance_->numRuns() > 1) {
-        for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
-            encodePassThrough(run);
-        }
+        measured("pass_through", [&] {
+            for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
+                encodePassThrough(run);
+            }
+        });
+    }
+
+    // Mirror the per-family breakdown into the global metrics registry and,
+    // when tracing, one summary event (useful next to the encode span).
+    auto& registry = obs::Registry::global();
+    for (const FamilyCounts& counts : familyCounts_) {
+        const std::string family(counts.family);
+        registry.counter("etcs.encoder.vars." + family)
+            .add(static_cast<std::uint64_t>(counts.variables));
+        registry.counter("etcs.encoder.clauses." + family).add(counts.clauses);
+    }
+    if (obs::tracingEnabled()) {
+        std::string args = "{\"variables\":" + std::to_string(backend_->numVariables()) +
+                           ",\"clauses\":" + std::to_string(backend_->numClauses()) + "}";
+        obs::Tracer::instant("encode.done", args);
+    }
+    if (obs::logEnabled(obs::LogLevel::Info)) {
+        obs::log(obs::LogLevel::Info, "encoder", "encoding finished",
+                 ",\"variables\":" + std::to_string(backend_->numVariables()) +
+                     ",\"clauses\":" + std::to_string(backend_->numClauses()));
     }
 }
 
@@ -478,6 +527,8 @@ Literal Encoder::doneAllLiteral(int step) {
     if (cached.valid()) {
         return cached;
     }
+    const int varsBefore = backend_->numVariables();
+    const std::size_t clausesBefore = backend_->numClauses();
     const Literal lit = Literal::positive(backend_->addVariable());
     for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
         const Literal doneLit = done_[run][static_cast<std::size_t>(step)];
@@ -489,6 +540,8 @@ Literal Encoder::doneAllLiteral(int step) {
             break;
         }
     }
+    accumulateFamily("done_all_selectors", backend_->numVariables() - varsBefore,
+                     backend_->numClauses() - clausesBefore);
     cached = lit;
     return lit;
 }

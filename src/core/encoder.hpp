@@ -22,6 +22,7 @@
 
 #include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +41,15 @@ struct EncoderOptions {
     bool pruneWithCones = true;       ///< restrict occupies vars to reachability cones
     bool encodePassThrough = true;    ///< emit C4 (ablation toggle; unsafe to disable
                                       ///< except for measurements)
+};
+
+/// Variables/clauses attributed to one part of the encoding — the Table-I
+/// effort breakdown at constraint-family granularity (see
+/// docs/OBSERVABILITY.md for the family names).
+struct FamilyCounts {
+    std::string_view family;
+    int variables = 0;
+    std::size_t clauses = 0;
 };
 
 /// Per-run decoded movement data.
@@ -82,6 +92,12 @@ public:
     /// Decode the backend's current model into a Solution.
     [[nodiscard]] Solution decode() const;
 
+    /// Variable/clause counts per constraint family, in emission order.
+    /// Populated by encode(); doneAllLiteral() adds to "done_all_selectors".
+    [[nodiscard]] std::span<const FamilyCounts> familyCounts() const noexcept {
+        return familyCounts_;
+    }
+
     /// Occupies literal for (run, segment, step); invalid when constant false.
     [[nodiscard]] Literal occupiesLiteral(std::size_t run, SegmentId segment, int step) const {
         return occ_[run][static_cast<std::size_t>(step)][segment.get()];
@@ -102,6 +118,12 @@ private:
     void encodeSchedulePins(std::size_t run);
     void encodeVssSeparation(std::size_t run1, std::size_t run2, const VssLayout* fixedLayout);
     void encodePassThrough(std::size_t mover);
+
+    /// Run `fn`, attributing the backend variables/clauses it adds to
+    /// `family` (accumulates across calls with the same family name).
+    template <typename Fn>
+    void measured(const char* family, Fn&& fn);
+    void accumulateFamily(std::string_view family, int variables, std::size_t clauses);
 
     [[nodiscard]] bool inCone(std::size_t run, SegmentId segment, int step) const;
     /// Union of segments on all node-simple paths from e to f of at most
@@ -124,6 +146,8 @@ private:
     std::vector<SegNodeId> freeBorderNodes_;
     const VssLayout* fixedLayout_ = nullptr;
     std::vector<Literal> doneAll_;  // lazily created per step
+
+    std::vector<FamilyCounts> familyCounts_;
 
     // chains per train length, computed once per distinct length
     std::unordered_map<int, std::vector<rail::Chain>> chainsByLength_;

@@ -1,6 +1,10 @@
 #include "core/tasks.hpp"
 
 #include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace etcs::core {
 
@@ -9,14 +13,45 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 std::unique_ptr<cnf::SatBackend> makeBackend(const TaskOptions& options) {
-    if (options.backendFactory) {
-        return options.backendFactory();
+    auto backend =
+        options.backendFactory ? options.backendFactory() : cnf::makeInternalBackend();
+    if (options.progress) {
+        backend->setProgressCallback(options.progress, options.progressIntervalConflicts);
     }
-    return cnf::makeInternalBackend();
+    return backend;
 }
 
 double secondsSince(Clock::time_point start) {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fold formula size and the backend's solver counters into the task stats,
+/// record the task runtime, and mirror the totals into the metrics registry.
+void finishStats(TaskStats& stats, const cnf::SatBackend& backend, const char* task,
+                 Clock::time_point start) {
+    stats.numVariables = backend.numVariables();
+    stats.numClauses = backend.numClauses();
+    const sat::SolverStats& solver = backend.stats();
+    stats.conflicts = solver.conflicts;
+    stats.propagations = solver.propagations;
+    stats.decisions = solver.decisions;
+    stats.restarts = solver.restarts;
+    stats.maxDecisionLevel = solver.maxDecisionLevel;
+    stats.peakLearnts = solver.peakLearnts;
+    stats.runtimeSeconds = secondsSince(start);
+
+    auto& registry = obs::Registry::global();
+    registry.counter(std::string("etcs.task.") + task + ".runs").increment();
+    registry.histogram(std::string("etcs.task.") + task + ".seconds")
+        .observe(stats.runtimeSeconds);
+    if (obs::logEnabled(obs::LogLevel::Info)) {
+        obs::log(obs::LogLevel::Info, "task", task,
+                 ",\"variables\":" + std::to_string(stats.numVariables) +
+                     ",\"clauses\":" + std::to_string(stats.numClauses) +
+                     ",\"solve_calls\":" + std::to_string(stats.solveCalls) +
+                     ",\"conflicts\":" + std::to_string(stats.conflicts) +
+                     ",\"seconds\":" + std::to_string(stats.runtimeSeconds));
+    }
 }
 
 }  // namespace
@@ -25,6 +60,7 @@ VerificationResult verifySchedule(const Instance& instance, const VssLayout& lay
                                   const TaskOptions& options) {
     ETCS_REQUIRE_MSG(instance.schedule().fullyTimed(),
                      "verification requires a fully timed schedule");
+    const obs::Span span("task.verify");
     const auto start = Clock::now();
     VerificationResult result;
 
@@ -37,15 +73,14 @@ VerificationResult verifySchedule(const Instance& instance, const VssLayout& lay
     if (result.feasible) {
         result.solution = encoder.decode();
     }
-    result.stats.numVariables = backend->numVariables();
-    result.stats.numClauses = backend->numClauses();
-    result.stats.runtimeSeconds = secondsSince(start);
+    finishStats(result.stats, *backend, "verify", start);
     return result;
 }
 
 GenerationResult generateLayout(const Instance& instance, const TaskOptions& options) {
     ETCS_REQUIRE_MSG(instance.schedule().fullyTimed(),
                      "layout generation requires a fully timed schedule");
+    const obs::Span span("task.generate");
     const auto start = Clock::now();
     GenerationResult result;
 
@@ -54,6 +89,7 @@ GenerationResult generateLayout(const Instance& instance, const TaskOptions& opt
     encoder.encode(nullptr);
 
     if (options.minimizeSections) {
+        const obs::Span minimizeSpan("minimize.borders");
         const auto minimized = opt::minimizeTrueLiterals(
             *backend, encoder.freeBorderLiterals(), options.borderSearch);
         result.stats.solveCalls = minimized.solveCalls;
@@ -66,9 +102,7 @@ GenerationResult generateLayout(const Instance& instance, const TaskOptions& opt
         result.solution = encoder.decode();
         result.sectionCount = result.solution->sectionCount;
     }
-    result.stats.numVariables = backend->numVariables();
-    result.stats.numClauses = backend->numClauses();
-    result.stats.runtimeSeconds = secondsSince(start);
+    finishStats(result.stats, *backend, "generate", start);
     return result;
 }
 
@@ -92,6 +126,7 @@ namespace {
 
 OptimizationResult optimizeImpl(const Instance& instance, const VssLayout* fixedLayout,
                                 const TaskOptions& options) {
+    const obs::Span span("task.optimize");
     const auto start = Clock::now();
     OptimizationResult result;
 
@@ -105,17 +140,19 @@ OptimizationResult optimizeImpl(const Instance& instance, const VssLayout* fixed
     const int lo = encoder.completionLowerBound();
     const int hi = instance.horizonSteps() - 1;
     if (lo > hi) {
-        result.stats.runtimeSeconds = secondsSince(start);
+        finishStats(result.stats, *backend, "optimize", start);
         return result;  // horizon shorter than any possible completion
     }
-    const auto search = opt::smallestFeasibleIndex(
-        *backend, [&](int step) { return encoder.doneAllLiteral(step); }, lo, hi,
-        options.timeSearch);
+    opt::IndexSearchResult search;
+    {
+        const obs::Span minimizeSpan("minimize.completion_time");
+        search = opt::smallestFeasibleIndex(
+            *backend, [&](int step) { return encoder.doneAllLiteral(step); }, lo, hi,
+            options.timeSearch);
+    }
     result.stats.solveCalls = search.solveCalls;
     if (!search.feasible) {
-        result.stats.numVariables = backend->numVariables();
-        result.stats.numClauses = backend->numClauses();
-        result.stats.runtimeSeconds = secondsSince(start);
+        finishStats(result.stats, *backend, "optimize", start);
         return result;
     }
     result.feasible = true;
@@ -123,6 +160,7 @@ OptimizationResult optimizeImpl(const Instance& instance, const VssLayout* fixed
 
     if (options.lexicographicSections && fixedLayout == nullptr) {
         // Freeze the optimal completion time, then minimize virtual borders.
+        const obs::Span minimizeSpan("minimize.borders");
         backend->addUnit(encoder.doneAllLiteral(search.index));
         const auto minimized = opt::minimizeTrueLiterals(
             *backend, encoder.freeBorderLiterals(), options.borderSearch);
@@ -133,9 +171,7 @@ OptimizationResult optimizeImpl(const Instance& instance, const VssLayout* fixed
 
     result.solution = encoder.decode();
     result.sectionCount = result.solution->sectionCount;
-    result.stats.numVariables = backend->numVariables();
-    result.stats.numClauses = backend->numClauses();
-    result.stats.runtimeSeconds = secondsSince(start);
+    finishStats(result.stats, *backend, "optimize", start);
     return result;
 }
 

@@ -13,6 +13,8 @@
 #include <memory>
 #include <optional>
 
+#include "sat/types.hpp"
+
 #include "core/encoder.hpp"
 #include "core/instance.hpp"
 #include "core/layout.hpp"
@@ -32,14 +34,30 @@ struct TaskOptions {
     bool lexicographicSections = true;
     /// SAT backend factory; defaults to the built-in CDCL solver.
     std::function<std::unique_ptr<cnf::SatBackend>()> backendFactory;
+    /// Progress/cancellation hook forwarded to the backend (see
+    /// sat::ProgressCallback). Returning false aborts the running solve;
+    /// the task then reports infeasible/incomplete. Ignored by backends
+    /// without progress support (e.g. Z3).
+    sat::ProgressCallback progress;
+    /// Conflicts between progress callbacks.
+    std::uint64_t progressIntervalConflicts = 16384;
 };
 
-/// Effort/size measurements common to all tasks (Table I columns).
+/// Effort/size measurements common to all tasks (Table I columns), extended
+/// with the backend's solver counters so results carry the full cost profile.
 struct TaskStats {
     int numVariables = 0;
     std::size_t numClauses = 0;
     std::uint64_t solveCalls = 0;
     double runtimeSeconds = 0.0;
+    // Solver work, accumulated over every solve of the task (0 for backends
+    // that do not report a counter).
+    std::uint64_t conflicts = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t maxDecisionLevel = 0;
+    std::uint64_t peakLearnts = 0;
 };
 
 struct VerificationResult {

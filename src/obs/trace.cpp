@@ -1,0 +1,265 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace etcs::obs {
+
+namespace detail {
+std::atomic<bool> traceActive{false};
+std::atomic<int> logThreshold{static_cast<int>(LogLevel::Off)};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Stable small integer per thread for the Chrome "tid" field.
+int threadId() {
+    static std::atomic<int> nextId{1};
+    thread_local const int id = nextId.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+/// All mutable sink state, guarded by `mutex`. A single namespace-scope
+/// instance reads the environment on construction and finalizes the trace
+/// file on destruction, so `ETCS_TRACE=out.json some_binary` needs no
+/// programmatic setup.
+struct Sinks {
+    std::mutex mutex;
+    std::ofstream traceFile;
+    bool firstEvent = true;
+    Clock::time_point epoch = Clock::now();
+    std::ofstream logFile;
+    bool logToFile = false;
+
+    Sinks() {
+        if (const char* path = std::getenv("ETCS_TRACE"); path != nullptr && *path != '\0') {
+            startLocked(path);
+        }
+        if (const char* level = std::getenv("ETCS_LOG_LEVEL"); level != nullptr) {
+            detail::logThreshold.store(static_cast<int>(parseLogLevel(level)),
+                                       std::memory_order_relaxed);
+        }
+        if (const char* path = std::getenv("ETCS_LOG"); path != nullptr && *path != '\0') {
+            logFile.open(path);
+            logToFile = logFile.is_open();
+        }
+    }
+
+    ~Sinks() { stopLocked(); }
+
+    bool startLocked(const std::string& path) {
+        stopLocked();
+        traceFile.open(path);
+        if (!traceFile) {
+            return false;
+        }
+        traceFile << "[";
+        firstEvent = true;
+        epoch = Clock::now();
+        detail::traceActive.store(true, std::memory_order_relaxed);
+        return true;
+    }
+
+    void stopLocked() {
+        if (!traceFile.is_open()) {
+            return;
+        }
+        detail::traceActive.store(false, std::memory_order_relaxed);
+        traceFile << "\n]\n";
+        traceFile.close();
+    }
+
+    [[nodiscard]] double microsSinceEpoch() const {
+        return std::chrono::duration<double, std::micro>(Clock::now() - epoch).count();
+    }
+
+    /// Write one event record; `body` is everything after the common
+    /// name/ph/ts/pid/tid fields (empty or ",\"args\":{...}").
+    void event(const char* name, char phase, std::string_view body) {
+        const std::scoped_lock lock(mutex);
+        if (!traceFile.is_open()) {
+            return;  // raced with stop()
+        }
+        traceFile << (firstEvent ? "\n" : ",\n");
+        firstEvent = false;
+        traceFile << "{\"name\":\"" << jsonEscape(name) << "\",\"cat\":\"etcs\",\"ph\":\""
+                  << phase << "\",\"ts\":" << microsSinceEpoch() << ",\"pid\":1,\"tid\":"
+                  << threadId();
+        if (phase == 'i') {
+            traceFile << ",\"s\":\"t\"";
+        }
+        traceFile << body << "}";
+    }
+};
+
+Sinks& sinks() {
+    static Sinks instance;
+    return instance;
+}
+
+// Force the sinks (and thus ETCS_TRACE handling) to life at process start,
+// not at first instrumented call.
+[[maybe_unused]] const bool kSinksInitialized = (sinks(), true);
+
+double wallSeconds() {
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+std::string_view toString(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "trace";
+        case LogLevel::Debug: return "debug";
+        case LogLevel::Info: return "info";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Error: return "error";
+        default: return "off";
+    }
+}
+
+LogLevel parseLogLevel(std::string_view text) {
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text) {
+        lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == "trace") return LogLevel::Trace;
+    if (lower == "debug") return LogLevel::Debug;
+    if (lower == "info") return LogLevel::Info;
+    if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+    if (lower == "error") return LogLevel::Error;
+    return LogLevel::Off;
+}
+
+std::string jsonEscape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+bool Tracer::start(const std::string& path) {
+    Sinks& s = sinks();
+    const std::scoped_lock lock(s.mutex);
+    return s.startLocked(path);
+}
+
+void Tracer::stop() {
+    Sinks& s = sinks();
+    const std::scoped_lock lock(s.mutex);
+    s.stopLocked();
+}
+
+void Tracer::begin(const char* name, std::string_view args) {
+    if (!tracingEnabled()) {
+        return;
+    }
+    std::string body;
+    if (!args.empty()) {
+        body = ",\"args\":";
+        body += args;
+    }
+    sinks().event(name, 'B', body);
+}
+
+void Tracer::end(const char* name) {
+    if (!tracingEnabled()) {
+        return;
+    }
+    sinks().event(name, 'E', {});
+}
+
+void Tracer::instant(const char* name, std::string_view args) {
+    if (!tracingEnabled()) {
+        return;
+    }
+    std::string body;
+    if (!args.empty()) {
+        body = ",\"args\":";
+        body += args;
+    }
+    sinks().event(name, 'i', body);
+}
+
+void Tracer::counterValue(const char* name, double value) {
+    if (!tracingEnabled()) {
+        return;
+    }
+    std::string body = ",\"args\":{\"value\":";
+    body += std::to_string(value);
+    body += "}";
+    sinks().event(name, 'C', body);
+}
+
+void Tracer::setLogLevel(LogLevel level) {
+    detail::logThreshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool Tracer::setLogFile(const std::string& path) {
+    Sinks& s = sinks();
+    const std::scoped_lock lock(s.mutex);
+    if (s.logFile.is_open()) {
+        s.logFile.close();
+    }
+    s.logToFile = false;
+    if (path.empty()) {
+        return true;
+    }
+    s.logFile.open(path);
+    s.logToFile = s.logFile.is_open();
+    return s.logToFile;
+}
+
+void log(LogLevel level, const char* component, std::string_view message,
+         std::string_view fields) {
+    if (!logEnabled(level)) {
+        return;
+    }
+    std::string line = "{\"ts\":";
+    line += std::to_string(wallSeconds());
+    line += ",\"level\":\"";
+    line += toString(level);
+    line += "\",\"component\":\"";
+    line += jsonEscape(component);
+    line += "\",\"message\":\"";
+    line += jsonEscape(message);
+    line += "\"";
+    line += fields;
+    line += "}\n";
+
+    Sinks& s = sinks();
+    const std::scoped_lock lock(s.mutex);
+    if (s.logToFile) {
+        s.logFile << line;
+        s.logFile.flush();
+    } else {
+        std::fputs(line.c_str(), stderr);
+    }
+}
+
+}  // namespace etcs::obs

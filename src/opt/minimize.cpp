@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
 #include "cnf/cardinality.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace etcs::opt {
@@ -12,6 +15,27 @@ using cnf::SolveStatus;
 using cnf::Totalizer;
 
 namespace {
+
+/// One trace/metrics record per bound probe of a minimization search.
+void recordBoundProbe(const char* event, int bound, bool sat) {
+    obs::Registry::global().counter("etcs.opt.bound_probes").increment();
+    if (obs::tracingEnabled()) {
+        obs::Tracer::instant(event, "{\"bound\":" + std::to_string(bound) +
+                                        ",\"sat\":" + (sat ? "true" : "false") + "}");
+    }
+    if (obs::logEnabled(obs::LogLevel::Debug)) {
+        obs::log(obs::LogLevel::Debug, "opt", event,
+                 ",\"bound\":" + std::to_string(bound) +
+                     ",\"sat\":" + (sat ? "true" : "false"));
+    }
+}
+
+void recordIncumbent(int incumbent) {
+    obs::Registry::global().gauge("etcs.opt.incumbent").set(incumbent);
+    if (obs::tracingEnabled()) {
+        obs::Tracer::counterValue("opt.incumbent", incumbent);
+    }
+}
 
 int weightedCount(const SatBackend& backend, std::span<const Literal> lits,
                   std::span<const int> weights) {
@@ -30,6 +54,7 @@ MinimizeResult minimizeImpl(SatBackend& backend, std::span<const Literal> soft,
                             std::span<const int> weights, SearchStrategy strategy,
                             const std::function<void(int)>& onImproved,
                             std::span<const Literal> alwaysAssume) {
+    const obs::Span span("opt.minimize");
     MinimizeResult result;
     std::vector<Literal> assumptions(alwaysAssume.begin(), alwaysAssume.end());
 
@@ -46,6 +71,7 @@ MinimizeResult minimizeImpl(SatBackend& backend, std::span<const Literal> soft,
     }
     result.feasible = true;
     int incumbent = weightedCount(backend, soft, weights);
+    recordIncumbent(incumbent);
     if (onImproved) {
         onImproved(incumbent);
     }
@@ -72,7 +98,12 @@ MinimizeResult minimizeImpl(SatBackend& backend, std::span<const Literal> soft,
         ++result.solveCalls;
         assumptions.resize(alwaysAssume.size());
         assumptions.push_back(totalizer.atMostAssumption(static_cast<std::size_t>(k)));
-        return backend.solve(assumptions) == SolveStatus::Sat;
+        const bool sat = backend.solve(assumptions) == SolveStatus::Sat;
+        recordBoundProbe("opt.tighten_bound", k, sat);
+        if (sat) {
+            recordIncumbent(weightedCount(backend, soft, weights));
+        }
+        return sat;
     };
 
     switch (strategy) {
@@ -166,13 +197,16 @@ IndexSearchResult smallestFeasibleIndex(SatBackend& backend,
                                         int hi, SearchStrategy strategy,
                                         std::span<const Literal> alwaysAssume) {
     ETCS_REQUIRE_MSG(lo <= hi, "empty search range");
+    const obs::Span span("opt.index_search");
     IndexSearchResult result;
     std::vector<Literal> assumptions(alwaysAssume.begin(), alwaysAssume.end());
     auto feasible = [&](int t) {
         ++result.solveCalls;
         assumptions.resize(alwaysAssume.size());
         assumptions.push_back(literalAt(t));
-        return backend.solve(assumptions) == SolveStatus::Sat;
+        const bool sat = backend.solve(assumptions) == SolveStatus::Sat;
+        recordBoundProbe("opt.probe_index", t, sat);
+        return sat;
     };
 
     switch (strategy) {

@@ -549,6 +549,18 @@ SolveStatus Solver::search(std::int64_t conflictBudget) {
         if (conflict != kInvalidClause) {
             ++stats_.conflicts;
             ++conflictsThisRestart;
+            if (options_.onProgress && stats_.conflicts >= nextProgressAt_) {
+                nextProgressAt_ = stats_.conflicts + std::max<std::uint64_t>(
+                                                         options_.progressInterval, 1);
+                const SolverProgress progress{stats_.conflicts, stats_.decisions,
+                                              stats_.propagations, stats_.restarts,
+                                              learnts_.size()};
+                if (!options_.onProgress(progress)) {
+                    cancelled_ = true;
+                    cancelUntil(0);
+                    return SolveStatus::Unknown;
+                }
+            }
             if (decisionLevel() == 0) {
                 ok_ = false;
                 return SolveStatus::Unsat;
@@ -564,6 +576,8 @@ SolveStatus Solver::search(std::int64_t conflictBudget) {
                 attachClause(ref);
                 bumpClause(arena_.view(ref));
                 uncheckedEnqueue(learntClause[0], ref);
+                stats_.peakLearnts = std::max<std::uint64_t>(stats_.peakLearnts,
+                                                             learnts_.size());
             }
             ++stats_.learnedClauses;
             decayVariableActivity();
@@ -613,6 +627,8 @@ SolveStatus Solver::search(std::int64_t conflictBudget) {
             ++stats_.decisions;
         }
         newDecisionLevel();
+        stats_.maxDecisionLevel =
+            std::max<std::uint64_t>(stats_.maxDecisionLevel, decisionLevel());
         uncheckedEnqueue(next, kInvalidClause);
     }
 }
@@ -622,6 +638,9 @@ SolveStatus Solver::solve(std::span<const Literal> assumptions) {
     if (!ok_) {
         return SolveStatus::Unsat;
     }
+    cancelled_ = false;
+    nextProgressAt_ =
+        stats_.conflicts + std::max<std::uint64_t>(options_.progressInterval, 1);
     assumptions_.assign(assumptions.begin(), assumptions.end());
     for (Literal l : assumptions_) {
         ETCS_REQUIRE_MSG(l.valid() && l.var() < numVariables(),
@@ -639,6 +658,9 @@ SolveStatus Solver::solve(std::span<const Literal> assumptions) {
                 ? static_cast<std::int64_t>(luby(options_.restartBase, restart))
                 : -1;
         status = search(budget);
+        if (cancelled_) {
+            break;  // progress callback requested cancellation
+        }
         if (options_.conflictLimit >= 0 &&
             stats_.conflicts >= static_cast<std::uint64_t>(options_.conflictLimit) &&
             status == SolveStatus::Unknown) {

@@ -187,6 +187,8 @@ private:
     std::vector<Value> model_;
     bool ok_ = true;
     double maxLearnts_ = 0.0;
+    std::uint64_t nextProgressAt_ = 0;  ///< conflict count of the next onProgress call
+    bool cancelled_ = false;            ///< onProgress vetoed the current solve
 };
 
 }  // namespace etcs::sat

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <compare>
+#include <functional>
 #include <ostream>
 #include <vector>
 
@@ -95,7 +96,24 @@ struct SolverStats {
     std::uint64_t minimizedLiterals = 0;
     std::uint64_t removedClauses = 0;
     std::uint64_t garbageCollections = 0;
+    std::uint64_t maxDecisionLevel = 0;  ///< deepest decision level ever reached
+    std::uint64_t peakLearnts = 0;       ///< largest learnt-DB size ever held
 };
+
+/// Snapshot handed to a progress callback during search.
+struct SolverProgress {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::size_t learntDbSize = 0;  ///< learned clauses currently held
+};
+
+/// Invoked from inside search every SolverOptions::progressInterval
+/// conflicts. Return false to cancel the solve cooperatively: the solver
+/// backtracks to the root level and returns SolveStatus::Unknown, leaving
+/// its state valid for further addClause()/solve() calls.
+using ProgressCallback = std::function<bool(const SolverProgress&)>;
 
 /// Tunable solver behaviour; defaults follow MiniSat-era practice.
 struct SolverOptions {
@@ -109,6 +127,8 @@ struct SolverOptions {
     double learntSizeIncrement = 1.1;  ///< DB limit growth per reduction.
     std::int64_t conflictLimit = -1;   ///< stop after this many conflicts (<0: off).
     bool defaultPolarity = false;      ///< polarity used before phase saving kicks in.
+    std::uint64_t progressInterval = 16384;  ///< conflicts between onProgress calls.
+    ProgressCallback onProgress;       ///< progress/cancellation hook (may be empty).
 };
 
 }  // namespace etcs::sat

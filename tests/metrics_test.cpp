@@ -1,0 +1,154 @@
+// Metrics registry tests: counter/gauge semantics, histogram quantile
+// correctness against known distributions, and JSON export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace etcs::obs {
+namespace {
+
+TEST(Counter, AccumulatesAndResets) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+    Gauge g;
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.add(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantilesCollapse) {
+    Histogram h;
+    h.observe(3.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 3.0);
+    EXPECT_DOUBLE_EQ(h.max(), 3.0);
+    // All quantiles clamp into [min, max] = {3}.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, UniformDistributionQuantiles) {
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i) {
+        h.observe(static_cast<double>(i));
+    }
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+    EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+    // Exponential buckets with 1.1 growth: ~10% relative resolution; allow
+    // a generous 15% band around the exact order statistics.
+    EXPECT_NEAR(h.quantile(0.5), 500.0, 75.0);
+    EXPECT_NEAR(h.quantile(0.9), 900.0, 135.0);
+    EXPECT_NEAR(h.quantile(0.99), 990.0, 150.0);
+    EXPECT_LE(h.quantile(1.0), 1000.0 + 1e-9);
+    EXPECT_GE(h.quantile(0.0), 1.0 - 1e-9);
+    // Quantiles are monotone in q.
+    EXPECT_LE(h.quantile(0.25), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.75));
+}
+
+TEST(Histogram, SkewedDistributionQuantiles) {
+    Histogram h;
+    // 99 fast samples at ~1ms, one slow sample at 10s.
+    for (int i = 0; i < 99; ++i) {
+        h.observe(0.001);
+    }
+    h.observe(10.0);
+    EXPECT_NEAR(h.quantile(0.5), 0.001, 0.001 * 0.15);
+    EXPECT_NEAR(h.quantile(0.99), 0.001, 0.001 * 0.15);
+    EXPECT_NEAR(h.quantile(1.0), 10.0, 10.0 * 0.15);
+}
+
+TEST(Histogram, NegativeAndSubresolutionSamplesClampToZeroBucket) {
+    Histogram h;
+    h.observe(-5.0);   // clamped to 0
+    h.observe(1e-12);  // below first bound
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_NEAR(h.quantile(0.5), 0.0, 1e-9);
+}
+
+TEST(Histogram, ConcurrentObserversLoseNothing) {
+    Histogram h;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i) {
+                h.observe(1.0);
+            }
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+    Registry registry;
+    Counter& a = registry.counter("x");
+    Counter& b = registry.counter("x");
+    EXPECT_EQ(&a, &b);
+    a.add(7);
+    EXPECT_EQ(b.value(), 7u);
+    // Different kinds live in different namespaces.
+    registry.gauge("x").set(1.0);
+    EXPECT_EQ(registry.counter("x").value(), 7u);
+}
+
+TEST(Registry, JsonExportContainsAllMetrics) {
+    Registry registry;
+    registry.counter("solver.conflicts").add(12);
+    registry.gauge("incumbent").set(3.5);
+    registry.histogram("solve_seconds").observe(0.25);
+    const std::string json = registry.toJson();
+    EXPECT_NE(json.find("\"solver.conflicts\": 12"), std::string::npos);
+    EXPECT_NE(json.find("\"incumbent\": 3.5"), std::string::npos);
+    EXPECT_NE(json.find("\"solve_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(Registry, ResetZerosButKeepsRegistration) {
+    Registry registry;
+    Counter& c = registry.counter("n");
+    c.add(5);
+    registry.histogram("h").observe(1.0);
+    registry.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(registry.histogram("h").count(), 0u);
+    EXPECT_EQ(&registry.counter("n"), &c);
+}
+
+TEST(Registry, GlobalIsSingleton) {
+    EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace etcs::obs

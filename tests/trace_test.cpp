@@ -1,0 +1,263 @@
+// Tracer tests: the Chrome trace file is valid JSON with balanced B/E
+// events, log level parsing round-trips, and everything is a no-op when
+// tracing is off.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace etcs::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Minimal recursive-descent JSON validator — enough to certify that the
+/// emitted trace parses. Accepts objects, arrays, strings (with escapes),
+/// numbers, and the three literals.
+class JsonValidator {
+public:
+    explicit JsonValidator(std::string_view text) : text_(text) {}
+
+    bool valid() {
+        skipSpace();
+        return value() && (skipSpace(), pos_ == text_.size());
+    }
+
+private:
+    bool value() {
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+    bool object() {
+        ++pos_;  // '{'
+        skipSpace();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skipSpace();
+            if (!string()) return false;
+            skipSpace();
+            if (peek() != ':') return false;
+            ++pos_;
+            skipSpace();
+            if (!value()) return false;
+            skipSpace();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+    bool array() {
+        ++pos_;  // '['
+        skipSpace();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skipSpace();
+            if (!value()) return false;
+            skipSpace();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size()) return false;
+                ++pos_;  // accept any escaped character (incl. \uXXXX prefix)
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;  // raw control character — must be escaped
+            }
+        }
+        return false;
+    }
+    bool number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    void skipSpace() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+std::size_t countOccurrences(const std::string& text, const std::string& needle) {
+    std::size_t count = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+class TraceFixture : public ::testing::Test {
+protected:
+    void TearDown() override {
+        Tracer::stop();
+        std::remove(path_.c_str());
+    }
+    std::string path_ = ::testing::TempDir() + "etcs_trace_test.json";
+};
+
+TEST_F(TraceFixture, DisabledByDefaultAndSpansAreNoops) {
+    ASSERT_FALSE(tracingEnabled());
+    {
+        const Span span("never.recorded");
+        Tracer::instant("also.never");
+    }
+    EXPECT_FALSE(tracingEnabled());
+}
+
+TEST_F(TraceFixture, ProducesValidJsonWithBalancedSpans) {
+    ASSERT_TRUE(Tracer::start(path_));
+    EXPECT_TRUE(tracingEnabled());
+    {
+        const Span outer("outer", R"({"k":1})");
+        {
+            const Span inner("inner");
+            Tracer::instant("tick", R"({"n":"quote \" and backslash \\"})");
+        }
+        Tracer::counterValue("gauge", 42.5);
+    }
+    Tracer::stop();
+    EXPECT_FALSE(tracingEnabled());
+
+    const std::string text = slurp(path_);
+    ASSERT_FALSE(text.empty());
+    EXPECT_TRUE(JsonValidator(text).valid()) << text;
+    EXPECT_EQ(countOccurrences(text, "\"ph\":\"B\""), countOccurrences(text, "\"ph\":\"E\""));
+    EXPECT_EQ(countOccurrences(text, "\"ph\":\"B\""), 2u);
+    EXPECT_EQ(countOccurrences(text, "\"ph\":\"i\""), 1u);
+    EXPECT_EQ(countOccurrences(text, "\"ph\":\"C\""), 1u);
+    EXPECT_NE(text.find("\"outer\""), std::string::npos);
+    EXPECT_NE(text.find("\"inner\""), std::string::npos);
+}
+
+TEST_F(TraceFixture, StopIsIdempotentAndEmptyTraceIsValid) {
+    ASSERT_TRUE(Tracer::start(path_));
+    Tracer::stop();
+    Tracer::stop();
+    const std::string text = slurp(path_);
+    EXPECT_TRUE(JsonValidator(text).valid()) << text;
+}
+
+TEST_F(TraceFixture, RestartReplacesTraceFile) {
+    ASSERT_TRUE(Tracer::start(path_));
+    { const Span span("first"); }
+    const std::string second = ::testing::TempDir() + "etcs_trace_test2.json";
+    ASSERT_TRUE(Tracer::start(second));
+    { const Span span("second"); }
+    Tracer::stop();
+    // The first file was finalized when the second was opened.
+    const std::string firstText = slurp(path_);
+    const std::string secondText = slurp(second);
+    std::remove(second.c_str());
+    EXPECT_TRUE(JsonValidator(firstText).valid()) << firstText;
+    EXPECT_TRUE(JsonValidator(secondText).valid()) << secondText;
+    EXPECT_NE(firstText.find("\"first\""), std::string::npos);
+    EXPECT_EQ(firstText.find("\"second\""), std::string::npos);
+    EXPECT_NE(secondText.find("\"second\""), std::string::npos);
+}
+
+TEST_F(TraceFixture, StartFailsOnUnwritablePath) {
+    EXPECT_FALSE(Tracer::start("/nonexistent-dir-xyz/trace.json"));
+    EXPECT_FALSE(tracingEnabled());
+}
+
+TEST(LogLevelTest, ParseRoundTrip) {
+    EXPECT_EQ(parseLogLevel("trace"), LogLevel::Trace);
+    EXPECT_EQ(parseLogLevel("DEBUG"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("Info"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("bogus"), LogLevel::Off);
+    for (LogLevel level : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Error}) {
+        EXPECT_EQ(parseLogLevel(toString(level)), level);
+    }
+}
+
+TEST(LogLevelTest, ThresholdFiltering) {
+    Tracer::setLogLevel(LogLevel::Warn);
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    Tracer::setLogLevel(LogLevel::Off);
+    EXPECT_FALSE(logEnabled(LogLevel::Error));
+}
+
+TEST(LogLevelTest, LogRecordsGoToFileAsJsonl) {
+    const std::string path = ::testing::TempDir() + "etcs_log_test.jsonl";
+    ASSERT_TRUE(Tracer::setLogFile(path));
+    Tracer::setLogLevel(LogLevel::Info);
+    log(LogLevel::Info, "test", "hello \"world\"", R"(,"n":3)");
+    log(LogLevel::Debug, "test", "filtered out");
+    Tracer::setLogLevel(LogLevel::Off);
+    Tracer::setLogFile("");
+
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        ++lines;
+        EXPECT_TRUE(JsonValidator(line).valid()) << line;
+        EXPECT_NE(line.find("\"component\":\"test\""), std::string::npos);
+        EXPECT_NE(line.find("\"n\":3"), std::string::npos);
+    }
+    EXPECT_EQ(lines, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    const std::string escaped = jsonEscape(std::string("a\x01") + "b");
+    EXPECT_EQ(escaped.find('\x01'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace etcs::obs
