@@ -2,18 +2,25 @@
 /// Standalone DIMACS front end for the built-in CDCL solver — useful for
 /// exercising the SAT substrate on standard benchmark files.
 ///
-///   sat_solve [--preprocess] [--no-restarts] [--stats] [file.cnf]
+///   sat_solve [--preprocess] [--no-restarts] [--stats]
+///             [--proof FILE [--binary-proof]] [file.cnf]
 ///
 /// Reads DIMACS CNF from the file (or stdin), prints the SAT-competition
 /// style result ("s SATISFIABLE" + "v ..." model lines, or
 /// "s UNSATISFIABLE"). Exit code: 10 = SAT, 20 = UNSAT (competition
 /// convention), 2 = input error.
+///
+/// With --proof FILE, every preprocessing step and solver inference is
+/// logged as a DRAT proof (text by default, binary with --binary-proof);
+/// on UNSAT the file can be validated with `dratcheck file.cnf FILE`.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "sat/dimacs.hpp"
 #include "sat/preprocess.hpp"
+#include "sat/proof.hpp"
 #include "sat/solver.hpp"
 
 using namespace etcs::sat;
@@ -22,6 +29,8 @@ int main(int argc, char** argv) {
     bool runPreprocess = false;
     bool noRestarts = false;
     bool printStats = false;
+    bool binaryProof = false;
+    const char* proofPath = nullptr;
     const char* path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--preprocess") == 0) {
@@ -30,9 +39,13 @@ int main(int argc, char** argv) {
             noRestarts = true;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
             printStats = true;
+        } else if (std::strcmp(argv[i], "--binary-proof") == 0) {
+            binaryProof = true;
+        } else if (std::strcmp(argv[i], "--proof") == 0 && i + 1 < argc) {
+            proofPath = argv[++i];
         } else if (argv[i][0] == '-') {
             std::cerr << "usage: sat_solve [--preprocess] [--no-restarts] [--stats] "
-                         "[file.cnf]\n";
+                         "[--proof FILE [--binary-proof]] [file.cnf]\n";
             return 2;
         } else {
             path = argv[i];
@@ -54,15 +67,34 @@ int main(int argc, char** argv) {
         std::cout << "c parsed " << formula.numVariables << " variables, "
                   << formula.clauses.size() << " clauses\n";
 
+        std::ofstream proofFile;
+        std::unique_ptr<ProofWriter> proof;
+        if (proofPath != nullptr) {
+            proofFile.open(proofPath,
+                           binaryProof ? std::ios::out | std::ios::binary : std::ios::out);
+            if (!proofFile) {
+                std::cerr << "c cannot open " << proofPath << "\n";
+                return 2;
+            }
+            if (binaryProof) {
+                proof = std::make_unique<BinaryDratWriter>(proofFile);
+            } else {
+                proof = std::make_unique<TextDratWriter>(proofFile);
+            }
+        }
+
         std::vector<Literal> fixed;
         if (runPreprocess) {
-            const auto pre = preprocess(formula);
+            const auto pre = preprocess(formula, proof.get());
             std::cout << "c preprocess: " << pre.stats.propagatedUnits << " units, "
                       << pre.stats.eliminatedPureLiterals << " pure, "
                       << pre.stats.subsumedClauses << " subsumed, "
                       << pre.stats.strengthenedClauses << " strengthened ("
                       << pre.stats.rounds << " rounds)\n";
             if (pre.unsatisfiable) {
+                if (proof) {
+                    proof->flush();
+                }
                 std::cout << "s UNSATISFIABLE\n";
                 return 20;
             }
@@ -72,6 +104,7 @@ int main(int argc, char** argv) {
 
         Solver solver;
         solver.options().useRestarts = !noRestarts;
+        solver.setProofWriter(proof.get());
         for (int v = 0; v < formula.numVariables; ++v) {
             solver.addVariable();
         }
@@ -80,6 +113,9 @@ int main(int argc, char** argv) {
         }
 
         const SolveStatus status = solver.solve();
+        if (proof) {
+            proof->flush();
+        }
         if (printStats) {
             const auto& stats = solver.stats();
             std::cout << "c decisions " << stats.decisions << ", conflicts "

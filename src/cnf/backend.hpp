@@ -15,6 +15,10 @@
 
 #include "sat/types.hpp"
 
+namespace etcs::sat {
+class ProofWriter;
+}
+
 namespace etcs::cnf {
 
 using sat::Literal;
@@ -66,6 +70,14 @@ public:
                                      std::uint64_t everyConflicts = 16384) {
         (void)callback;
         (void)everyConflicts;
+        return false;
+    }
+
+    /// Attach a DRAT proof sink (see sat/proof.hpp; nullptr detaches, not
+    /// owned). Returns false when the backend cannot log proofs — e.g. the
+    /// Z3 cross-check backend — in which case nothing is ever written.
+    virtual bool setProofWriter(sat::ProofWriter* proof) {
+        (void)proof;
         return false;
     }
 

@@ -47,6 +47,11 @@ public:
         return true;
     }
 
+    bool setProofWriter(sat::ProofWriter* proof) override {
+        solver_.setProofWriter(proof);
+        return true;
+    }
+
     std::string name() const override { return "internal-cdcl"; }
 
 private:

@@ -35,7 +35,13 @@ CnfFormula readDimacs(std::istream& in) {
             throw InputError("DIMACS clause before 'p cnf' header");
         }
         long long value = 0;
-        while (ls >> value) {
+        while (true) {
+            if (!(ls >> value)) {
+                if (!ls.eof()) {
+                    throw InputError("non-numeric token in DIMACS clause line: " + line);
+                }
+                break;
+            }
             if (value == 0) {
                 formula.clauses.push_back(current);
                 current.clear();

@@ -1,0 +1,568 @@
+#include "sat/drat_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace etcs::sat {
+
+namespace {
+
+constexpr int kNoClause = -1;    ///< "no clause" id / reason
+constexpr int kAssumption = -2;  ///< reason of a literal assumed by a check
+
+/// A clause as the checker stores it: literals sorted and deduplicated,
+/// plus the first literal as written (the RAT pivot position of DRAT).
+struct CClause {
+    std::vector<Literal> lits;
+    Literal pivot;
+    int watchA = -1;  ///< positions into lits of the two watched literals
+    int watchB = -1;
+    bool active = false;
+    bool marked = false;
+    bool isLemma = false;
+    bool tautology = false;
+};
+
+/// What the forward pass did at one proof step (for backward undo).
+struct StepAction {
+    int addedClause = kNoClause;
+    int deletedClause = kNoClause;
+};
+
+class Checker {
+public:
+    Checker(const CnfFormula& formula, const DratProof& proof)
+        : formula_(formula), proof_(proof) {}
+
+    DratCheckResult run();
+
+private:
+    [[nodiscard]] Value value(Literal l) const {
+        const Value v = assigns_[static_cast<std::size_t>(l.var())];
+        return l.sign() ? negate(v) : v;
+    }
+
+    [[nodiscard]] static std::vector<std::int32_t> key(const std::vector<Literal>& lits) {
+        std::vector<std::int32_t> codes;
+        codes.reserve(lits.size());
+        for (Literal l : lits) {
+            codes.push_back(l.code());
+        }
+        return codes;
+    }
+
+    int addClauseRecord(std::span<const Literal> literals, bool isLemma);
+    int activateUnderTrail(int id);  ///< forward pass; returns conflict id
+    void activateBare(int id);       ///< backward reactivation (empty trail)
+    void deactivate(int id);
+    void enqueue(Literal l, int reason);
+    int propagate();
+    void markConeFromSeen();
+    void undoTrail();
+    bool checkRupClause(std::span<const Literal> clauseLits);
+    bool verifyLemma(int id, std::string& error);
+
+    const CnfFormula& formula_;
+    const DratProof& proof_;
+
+    std::vector<CClause> clauses_;
+    std::map<std::vector<std::int32_t>, std::vector<int>> index_;
+    std::vector<std::vector<int>> watches_;  ///< literal code -> watching clause ids
+    std::vector<int> units_;                 ///< ids of unit clauses (may hold stale entries)
+    std::vector<Value> assigns_;
+    std::vector<int> reasons_;
+    std::vector<Literal> trail_;
+    std::size_t head_ = 0;
+    std::vector<char> seen_;
+    DratCheckStats stats_;
+};
+
+int Checker::addClauseRecord(std::span<const Literal> literals, bool isLemma) {
+    const int id = static_cast<int>(clauses_.size());
+    CClause c;
+    c.isLemma = isLemma;
+    c.pivot = literals.empty() ? kUndefLiteral : literals.front();
+    c.lits.assign(literals.begin(), literals.end());
+    std::sort(c.lits.begin(), c.lits.end());
+    c.lits.erase(std::unique(c.lits.begin(), c.lits.end()), c.lits.end());
+    for (std::size_t i = 0; i + 1 < c.lits.size(); ++i) {
+        if (c.lits[i + 1] == ~c.lits[i]) {
+            c.tautology = true;
+            break;
+        }
+    }
+    index_[key(c.lits)].push_back(id);
+    clauses_.push_back(std::move(c));
+    return id;
+}
+
+int Checker::activateUnderTrail(int id) {
+    CClause& c = clauses_[id];
+    if (c.tautology) {
+        return kNoClause;  // never constrains anything; stays inactive
+    }
+    c.active = true;
+    if (c.lits.empty()) {
+        return id;
+    }
+    if (c.lits.size() == 1) {
+        units_.push_back(id);
+        const Literal u = c.lits[0];
+        const Value v = value(u);
+        if (v == Value::False) {
+            return id;
+        }
+        if (v == Value::Undef) {
+            enqueue(u, id);
+        }
+        return kNoClause;
+    }
+    // Pick watches among the non-false literals under the current trail.
+    int first = -1;
+    int second = -1;
+    for (std::size_t i = 0; i < c.lits.size(); ++i) {
+        if (value(c.lits[i]) == Value::False) {
+            continue;
+        }
+        if (first < 0) {
+            first = static_cast<int>(i);
+        } else {
+            second = static_cast<int>(i);
+            break;
+        }
+    }
+    if (first < 0) {
+        // All literals false: conflicting; watch positions are irrelevant
+        // for the forward stop, and fine for later from-scratch checks.
+        c.watchA = 0;
+        c.watchB = 1;
+        watches_[static_cast<std::size_t>((~c.lits[0]).code())].push_back(id);
+        watches_[static_cast<std::size_t>((~c.lits[1]).code())].push_back(id);
+        return id;
+    }
+    if (second < 0) {
+        second = (first == 0) ? 1 : 0;  // any distinct position
+    }
+    c.watchA = first;
+    c.watchB = second;
+    watches_[static_cast<std::size_t>((~c.lits[first]).code())].push_back(id);
+    watches_[static_cast<std::size_t>((~c.lits[second]).code())].push_back(id);
+    const Literal watched = c.lits[first];
+    bool othersFalse = true;
+    for (std::size_t i = 0; i < c.lits.size() && othersFalse; ++i) {
+        othersFalse = static_cast<int>(i) == first || value(c.lits[i]) == Value::False;
+    }
+    if (othersFalse && value(watched) == Value::Undef) {
+        enqueue(watched, id);  // clause is unit under the current trail
+    }
+    return kNoClause;
+}
+
+void Checker::activateBare(int id) {
+    CClause& c = clauses_[id];
+    if (c.tautology) {
+        return;
+    }
+    c.active = true;
+    if (c.lits.empty()) {
+        return;
+    }
+    if (c.lits.size() == 1) {
+        units_.push_back(id);
+        return;
+    }
+    c.watchA = 0;
+    c.watchB = 1;
+    watches_[static_cast<std::size_t>((~c.lits[0]).code())].push_back(id);
+    watches_[static_cast<std::size_t>((~c.lits[1]).code())].push_back(id);
+}
+
+void Checker::deactivate(int id) {
+    CClause& c = clauses_[id];
+    if (!c.active) {
+        return;
+    }
+    c.active = false;
+    if (c.lits.size() < 2) {
+        return;  // units are filtered lazily through the active flag
+    }
+    for (const int pos : {c.watchA, c.watchB}) {
+        auto& list = watches_[static_cast<std::size_t>((~c.lits[pos]).code())];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (list[i] == id) {
+                list[i] = list.back();
+                list.pop_back();
+                break;
+            }
+        }
+    }
+}
+
+void Checker::enqueue(Literal l, int reason) {
+    assigns_[static_cast<std::size_t>(l.var())] = l.sign() ? Value::False : Value::True;
+    reasons_[static_cast<std::size_t>(l.var())] = reason;
+    trail_.push_back(l);
+}
+
+int Checker::propagate() {
+    while (head_ < trail_.size()) {
+        const Literal p = trail_[head_++];
+        const Literal falseLit = ~p;
+        auto& ws = watches_[static_cast<std::size_t>(p.code())];
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const int id = ws[i];
+            CClause& c = clauses_[id];
+            int* falseSlot = nullptr;
+            int otherPos = -1;
+            if (c.lits[static_cast<std::size_t>(c.watchA)] == falseLit) {
+                falseSlot = &c.watchA;
+                otherPos = c.watchB;
+            } else {
+                falseSlot = &c.watchB;
+                otherPos = c.watchA;
+            }
+            const Literal other = c.lits[static_cast<std::size_t>(otherPos)];
+            if (value(other) == Value::True) {
+                ws[keep++] = id;
+                continue;
+            }
+            bool moved = false;
+            for (std::size_t pos = 0; pos < c.lits.size(); ++pos) {
+                if (static_cast<int>(pos) == c.watchA || static_cast<int>(pos) == c.watchB) {
+                    continue;
+                }
+                if (value(c.lits[pos]) != Value::False) {
+                    *falseSlot = static_cast<int>(pos);
+                    watches_[static_cast<std::size_t>((~c.lits[pos]).code())].push_back(id);
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved) {
+                continue;  // left this watch list
+            }
+            ws[keep++] = id;
+            if (value(other) == Value::False) {
+                for (std::size_t r = i + 1; r < ws.size(); ++r) {
+                    ws[keep++] = ws[r];
+                }
+                ws.resize(keep);
+                return id;
+            }
+            enqueue(other, id);
+        }
+        ws.resize(keep);
+    }
+    return kNoClause;
+}
+
+void Checker::markConeFromSeen() {
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= 0; --i) {
+        const Var v = trail_[static_cast<std::size_t>(i)].var();
+        if (seen_[static_cast<std::size_t>(v)] == 0) {
+            continue;
+        }
+        seen_[static_cast<std::size_t>(v)] = 0;
+        const int reason = reasons_[static_cast<std::size_t>(v)];
+        if (reason < 0) {
+            continue;  // an assumption of the running check
+        }
+        clauses_[reason].marked = true;
+        for (Literal l : clauses_[reason].lits) {
+            if (l.var() != v && assigns_[static_cast<std::size_t>(l.var())] != Value::Undef) {
+                seen_[static_cast<std::size_t>(l.var())] = 1;
+            }
+        }
+    }
+}
+
+void Checker::undoTrail() {
+    while (!trail_.empty()) {
+        const Var v = trail_.back().var();
+        assigns_[static_cast<std::size_t>(v)] = Value::Undef;
+        reasons_[static_cast<std::size_t>(v)] = kNoClause;
+        trail_.pop_back();
+    }
+    head_ = 0;
+}
+
+bool Checker::checkRupClause(std::span<const Literal> clauseLits) {
+    bool trivial = false;
+    bool conflicted = false;
+    // Assume the negation of the clause.
+    for (Literal l : clauseLits) {
+        const Literal assumption = ~l;
+        const Value v = value(assumption);
+        if (v == Value::False) {
+            trivial = true;  // complementary pair among the assumptions
+            break;
+        }
+        if (v == Value::Undef) {
+            enqueue(assumption, kAssumption);
+        }
+    }
+    if (!trivial) {
+        // Seed unit propagation from the active unit clauses.
+        for (std::size_t i = 0; i < units_.size() && !conflicted; ++i) {
+            const int id = units_[i];
+            CClause& c = clauses_[id];
+            if (!c.active) {
+                continue;
+            }
+            const Literal u = c.lits[0];
+            const Value v = value(u);
+            if (v == Value::True) {
+                continue;
+            }
+            if (v == Value::False) {
+                c.marked = true;
+                seen_[static_cast<std::size_t>(u.var())] = 1;
+                markConeFromSeen();
+                conflicted = true;
+                break;
+            }
+            enqueue(u, id);
+        }
+        if (!conflicted) {
+            const int conflict = propagate();
+            if (conflict != kNoClause) {
+                clauses_[conflict].marked = true;
+                for (Literal l : clauses_[conflict].lits) {
+                    seen_[static_cast<std::size_t>(l.var())] = 1;
+                }
+                markConeFromSeen();
+                conflicted = true;
+            }
+        }
+    }
+    undoTrail();
+    return trivial || conflicted;
+}
+
+bool Checker::verifyLemma(int id, std::string& error) {
+    CClause& c = clauses_[id];
+    if (checkRupClause(c.lits)) {
+        ++stats_.verifiedLemmas;
+        return true;
+    }
+    if (c.lits.empty() || !c.pivot.valid()) {
+        error = "empty lemma is not propagation-derivable";
+        return false;
+    }
+    // Fall back to RAT on the pivot (the lemma's first literal as written).
+    const Literal pivot = c.pivot;
+    const Literal negPivot = ~pivot;
+    std::vector<Literal> resolvent;
+    for (std::size_t d = 0; d < clauses_.size(); ++d) {
+        CClause& other = clauses_[d];
+        if (!other.active ||
+            !std::binary_search(other.lits.begin(), other.lits.end(), negPivot)) {
+            continue;
+        }
+        other.marked = true;  // every resolution candidate supports the lemma
+        resolvent.clear();
+        for (Literal l : c.lits) {
+            if (l != pivot) {
+                resolvent.push_back(l);
+            }
+        }
+        for (Literal l : other.lits) {
+            if (l != negPivot) {
+                resolvent.push_back(l);
+            }
+        }
+        std::sort(resolvent.begin(), resolvent.end());
+        resolvent.erase(std::unique(resolvent.begin(), resolvent.end()), resolvent.end());
+        bool tautology = false;
+        for (std::size_t i = 0; i + 1 < resolvent.size(); ++i) {
+            if (resolvent[i + 1] == ~resolvent[i]) {
+                tautology = true;
+                break;
+            }
+        }
+        if (tautology) {
+            continue;
+        }
+        if (!checkRupClause(resolvent)) {
+            error = "lemma is neither RUP nor RAT on its first literal";
+            return false;
+        }
+    }
+    ++stats_.verifiedLemmas;
+    ++stats_.ratLemmas;
+    return true;
+}
+
+DratCheckResult Checker::run() {
+    DratCheckResult result;
+
+    // Size the variable-indexed structures over formula and proof.
+    Var maxVar = static_cast<Var>(formula_.numVariables) - 1;
+    for (const auto& clause : formula_.clauses) {
+        for (Literal l : clause) {
+            maxVar = std::max(maxVar, l.var());
+        }
+    }
+    for (const DratStep& step : proof_.steps) {
+        for (Literal l : step.literals) {
+            maxVar = std::max(maxVar, l.var());
+        }
+    }
+    const std::size_t numVars = static_cast<std::size_t>(maxVar) + 1;
+    assigns_.assign(numVars, Value::Undef);
+    reasons_.assign(numVars, kNoClause);
+    seen_.assign(numVars, 0);
+    watches_.assign(2 * numVars, {});
+
+    // Load the formula; a conflict here means UP alone refutes it.
+    int conflictSource = kNoClause;
+    for (const auto& clause : formula_.clauses) {
+        const int id = addClauseRecord(clause, /*isLemma=*/false);
+        const int conflict = activateUnderTrail(id);
+        if (conflict != kNoClause && conflictSource == kNoClause) {
+            conflictSource = conflict;
+        }
+    }
+    if (conflictSource == kNoClause) {
+        conflictSource = propagate();
+    }
+
+    // Forward pass: replay steps until the active set is UP-inconsistent.
+    std::vector<StepAction> actions(proof_.steps.size());
+    int conflictAtStep = -1;
+    for (std::size_t s = 0; s < proof_.steps.size() && conflictSource == kNoClause; ++s) {
+        const DratStep& step = proof_.steps[s];
+        ++stats_.proofSteps;
+        if (step.isDeletion) {
+            std::vector<Literal> sorted(step.literals.begin(), step.literals.end());
+            std::sort(sorted.begin(), sorted.end());
+            sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+            int target = kNoClause;
+            if (const auto it = index_.find(key(sorted)); it != index_.end()) {
+                for (const int id : it->second) {
+                    if (clauses_[id].active) {
+                        target = id;
+                        break;
+                    }
+                }
+            }
+            if (target == kNoClause) {
+                ++stats_.skippedDeletions;
+                continue;
+            }
+            // Never delete the justification of a trail literal (the
+            // standard accommodation for solvers that drop reason clauses
+            // of root-level implications) — unless an active unit clause
+            // can take over as the reason.
+            Literal implied = kUndefLiteral;
+            for (Literal l : clauses_[target].lits) {
+                if (value(l) == Value::True &&
+                    reasons_[static_cast<std::size_t>(l.var())] == target) {
+                    implied = l;
+                    break;
+                }
+            }
+            if (implied.valid()) {
+                int substitute = kNoClause;
+                for (const int id : units_) {
+                    if (id != target && clauses_[id].active && clauses_[id].lits[0] == implied) {
+                        substitute = id;
+                        break;
+                    }
+                }
+                if (substitute == kNoClause) {
+                    ++stats_.skippedDeletions;
+                    continue;
+                }
+                reasons_[static_cast<std::size_t>(implied.var())] = substitute;
+            }
+            deactivate(target);
+            actions[s].deletedClause = target;
+            continue;
+        }
+        const int id = addClauseRecord(step.literals, /*isLemma=*/true);
+        actions[s].addedClause = id;
+        int conflict = activateUnderTrail(id);
+        if (conflict == kNoClause) {
+            conflict = propagate();
+        }
+        if (conflict != kNoClause) {
+            conflictSource = conflict;
+            conflictAtStep = static_cast<int>(s);
+        }
+    }
+
+    if (conflictSource == kNoClause) {
+        result.error = "proof does not derive a conflict (no empty clause reached)";
+        result.stats = stats_;
+        return result;
+    }
+
+    // An empty clause already present in the input formula is its own proof.
+    if (!clauses_[conflictSource].isLemma && clauses_[conflictSource].lits.empty()) {
+        clauses_[conflictSource].marked = true;
+        stats_.coreClauses = 1;
+        result.verified = true;
+        result.stats = stats_;
+        return result;
+    }
+
+    // The backward phase re-derives everything from scratch per check.
+    undoTrail();
+
+    // Terminal check: the empty clause must be RUP against the active set.
+    // (This also defeats proofs that merely *assert* "0" without deriving
+    // it — the empty clause itself takes no part in propagation.)
+    if (!checkRupClause({})) {
+        result.error = "terminal conflict is not derivable by unit propagation";
+        result.stats = stats_;
+        return result;
+    }
+
+    // Backward pass.
+    for (int s = conflictAtStep; s >= 0; --s) {
+        const StepAction action = actions[static_cast<std::size_t>(s)];
+        if (action.deletedClause != kNoClause) {
+            activateBare(action.deletedClause);
+            continue;
+        }
+        if (action.addedClause == kNoClause) {
+            continue;  // a skipped deletion
+        }
+        const int id = action.addedClause;
+        deactivate(id);
+        CClause& c = clauses_[id];
+        if (c.lits.empty()) {
+            continue;  // the terminal empty clause; covered by the check above
+        }
+        if (!c.marked || c.tautology) {
+            ++stats_.skippedLemmas;
+            continue;
+        }
+        std::string error;
+        if (!verifyLemma(id, error)) {
+            result.error = "proof step " + std::to_string(s + 1) + ": " + error;
+            result.stats = stats_;
+            return result;
+        }
+    }
+
+    for (const CClause& c : clauses_) {
+        if (!c.isLemma && c.marked) {
+            ++stats_.coreClauses;
+        }
+    }
+    result.verified = true;
+    result.stats = stats_;
+    return result;
+}
+
+}  // namespace
+
+DratCheckResult checkDrat(const CnfFormula& formula, const DratProof& proof) {
+    return Checker(formula, proof).run();
+}
+
+}  // namespace etcs::sat

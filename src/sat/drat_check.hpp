@@ -1,0 +1,55 @@
+/// \file drat_check.hpp
+/// An independent backward RUP/RAT checker for DRAT proofs.
+///
+/// Given a CNF formula and a DRAT proof (see proof.hpp), the checker
+/// certifies that the proof derives the empty clause — i.e. that the
+/// formula is unsatisfiable. It is implemented from first principles,
+/// deliberately sharing no propagation or clause-storage code with the
+/// solver it audits.
+///
+/// Algorithm (the drat-trim scheme):
+///  1. Forward pass: replay the proof, maintaining the active clause set
+///     and a persistent unit-propagation trail, until a conflict (or an
+///     explicit empty clause) is reached. Steps after that point are
+///     ignored.
+///  2. The clauses involved in the terminal conflict are marked.
+///  3. Backward pass: walk the proof in reverse, deactivating each lemma
+///     before its check so it cannot justify itself. Every *marked* lemma
+///     must have the RUP property (unit propagation on its negation
+///     yields a conflict) or, failing that, the RAT property on its first
+///     literal. The clauses each check uses are marked in turn; unmarked
+///     lemmas are skipped — the backward-checking optimization.
+///
+/// Deletions of clauses that currently justify a trail literal are skipped
+/// (the standard drat-trim accommodation for MiniSat-style solvers); the
+/// skip count is reported in the stats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sat/dimacs.hpp"
+#include "sat/proof.hpp"
+
+namespace etcs::sat {
+
+struct DratCheckStats {
+    std::size_t proofSteps = 0;       ///< steps inspected (through the conflict)
+    std::size_t verifiedLemmas = 0;   ///< additions proven RUP or RAT
+    std::size_t ratLemmas = 0;        ///< of those, lemmas needing a RAT check
+    std::size_t skippedLemmas = 0;    ///< unmarked additions (backward-skipped)
+    std::size_t skippedDeletions = 0; ///< deletions ignored (reason/unmatched)
+    std::size_t coreClauses = 0;      ///< original clauses in the unsat core
+};
+
+struct DratCheckResult {
+    bool verified = false;
+    std::string error;  ///< human-readable reason when !verified
+    DratCheckStats stats;
+};
+
+/// Check that `proof` certifies the unsatisfiability of `formula`.
+/// Never throws on invalid proofs — failures are reported in the result.
+[[nodiscard]] DratCheckResult checkDrat(const CnfFormula& formula, const DratProof& proof);
+
+}  // namespace etcs::sat

@@ -68,11 +68,14 @@ bool subsumes(const std::vector<Literal>& small, const std::vector<Literal>& big
 
 }  // namespace
 
-PreprocessResult preprocess(CnfFormula& formula) {
+PreprocessResult preprocess(CnfFormula& formula, ProofWriter* proof) {
     PreprocessResult result;
     Assignment assignment(formula.numVariables);
 
     auto markUnsat = [&] {
+        if (proof != nullptr) {
+            proof->addEmptyClause();
+        }
         result.unsatisfiable = true;
         formula.clauses.assign(1, std::vector<Literal>{});
     };
@@ -84,20 +87,35 @@ PreprocessResult preprocess(CnfFormula& formula) {
 
         // --- normalization + unit propagation to fixpoint ------------------
         bool propagated = true;
+        std::vector<Literal> original;  // pre-normalization copy for the proof
         while (propagated) {
             propagated = false;
             std::vector<std::vector<Literal>> kept;
             kept.reserve(formula.clauses.size());
             for (auto& clause : formula.clauses) {
+                if (proof != nullptr) {
+                    original = clause;
+                }
                 if (!normalizeClause(clause, assignment, result.stats)) {
+                    if (proof != nullptr) {
+                        proof->deleteClause(original);
+                    }
                     changed = true;
                     continue;  // satisfied or tautological
                 }
+                // A strengthened clause is propagation-derivable from the
+                // original plus the facts; log add-then-delete so the
+                // proof's propagation strength never dips.
+                const bool shrunk = proof != nullptr && clause.size() != original.size();
                 if (clause.empty()) {
                     markUnsat();
                     return result;
                 }
                 if (clause.size() == 1) {
+                    if (shrunk) {
+                        proof->addClause(clause);
+                        proof->deleteClause(original);
+                    }
                     if (!assignment.assign(clause[0])) {
                         markUnsat();
                         return result;
@@ -106,7 +124,11 @@ PreprocessResult preprocess(CnfFormula& formula) {
                     ++result.stats.propagatedUnits;
                     propagated = true;
                     changed = true;
-                    continue;  // consumed as a fact
+                    continue;  // consumed as a fact (its clause stays in the proof)
+                }
+                if (shrunk) {
+                    proof->addClause(clause);
+                    proof->deleteClause(original);
                 }
                 kept.push_back(std::move(clause));
             }
@@ -129,6 +151,11 @@ PreprocessResult preprocess(CnfFormula& formula) {
                 if (posSeen[v] == 0 || negSeen[v] == 0) {
                     const Literal pure(v, posSeen[v] == 0);
                     if (assignment.assign(pure)) {
+                        if (proof != nullptr) {
+                            // No clause contains ~pure, so the unit is a
+                            // resolution-candidate-free RAT addition.
+                            proof->addClause({pure});
+                        }
                         result.pureLiterals.push_back(pure);
                         ++result.stats.eliminatedPureLiterals;
                         changed = true;
@@ -154,6 +181,9 @@ PreprocessResult preprocess(CnfFormula& formula) {
                     continue;
                 }
                 if (subsumes(formula.clauses[i], formula.clauses[j])) {
+                    if (proof != nullptr) {
+                        proof->deleteClause(formula.clauses[j]);
+                    }
                     removed[j] = 1;
                     ++result.stats.subsumedClauses;
                     changed = true;
@@ -168,7 +198,14 @@ PreprocessResult preprocess(CnfFormula& formula) {
                     std::sort(flipped.begin(), flipped.end());
                     if (subsumes(flipped, formula.clauses[j])) {
                         auto& big = formula.clauses[j];
+                        if (proof != nullptr) {
+                            original = big;
+                        }
                         big.erase(std::find(big.begin(), big.end(), ~formula.clauses[i][p]));
+                        if (proof != nullptr) {
+                            proof->addClause(big);
+                            proof->deleteClause(original);
+                        }
                         ++result.stats.strengthenedClauses;
                         changed = true;
                         break;

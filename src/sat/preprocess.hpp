@@ -13,12 +13,19 @@
 /// The result is equisatisfiable with the input; models of the simplified
 /// formula extend to models of the original via `fixedLiterals` plus the
 /// recorded pure-literal assignments.
+///
+/// When a ProofWriter is supplied, every simplification is logged as DRAT
+/// steps (strengthened clauses and propagated units as RUP additions,
+/// pure-literal units as RAT additions, removed clauses as deletions), so
+/// a solver run on the simplified formula appends to a proof that still
+/// checks against the *original* formula.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sat/dimacs.hpp"
+#include "sat/proof.hpp"
 #include "sat/types.hpp"
 
 namespace etcs::sat {
@@ -40,7 +47,8 @@ struct PreprocessResult {
 };
 
 /// Simplify `formula` in place. When `result.unsatisfiable` is set, the
-/// remaining clause list contains a single empty clause.
-PreprocessResult preprocess(CnfFormula& formula);
+/// remaining clause list contains a single empty clause. `proof`, when
+/// non-null, receives the DRAT trace of every simplification.
+PreprocessResult preprocess(CnfFormula& formula, ProofWriter* proof = nullptr);
 
 }  // namespace etcs::sat

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "sat/proof.hpp"
+
 namespace etcs::sat {
 
 namespace {
@@ -144,6 +146,12 @@ bool Solver::addClause(std::span<const Literal> literals) {
     }
     lits.resize(out);
 
+    // The normalized clause is propagation-derivable from the input plus
+    // the root-level facts, so logging it keeps the proof checkable.
+    if (proof_ != nullptr && lits.size() != literals.size()) {
+        proof_->addClause(lits);
+    }
+
     if (lits.empty()) {
         ok_ = false;
         return false;
@@ -151,6 +159,9 @@ bool Solver::addClause(std::span<const Literal> literals) {
     if (lits.size() == 1) {
         uncheckedEnqueue(lits[0], kInvalidClause);
         ok_ = (propagate() == kInvalidClause);
+        if (!ok_ && proof_ != nullptr) {
+            proof_->addEmptyClause();
+        }
         return ok_;
     }
     const ClauseRef ref = arena_.allocate(lits, /*learnt=*/false);
@@ -473,12 +484,28 @@ void Solver::reduceLearnedDb() {
     });
     const double threshold = clauseIncrement_ / std::max<std::size_t>(learnts_.size(), 1);
     std::size_t kept = 0;
+    std::vector<Literal> scratch;
     for (std::size_t i = 0; i < learnts_.size(); ++i) {
         const ClauseRef ref = learnts_[i];
         const Clause c = arena_.view(ref);
         const bool removable = c.size() > 2 && !locked(ref) &&
                                (i < learnts_.size() / 2 || c.activity() < threshold);
         if (removable) {
+            if (proof_ != nullptr) {
+                // A clause justifying a root-level implication must leave
+                // that fact derivable: emit the unit before deleting.
+                const Literal first = c[0];
+                if (value(first) == Value::True && level_[first.var()] == 0 &&
+                    reason_[first.var()] == ref) {
+                    proof_->addClause({first});
+                    reason_[first.var()] = kInvalidClause;
+                }
+                scratch.clear();
+                for (std::uint32_t j = 0; j < c.size(); ++j) {
+                    scratch.push_back(c[j]);
+                }
+                proof_->deleteClause(scratch);
+            }
             detachClause(ref);
             arena_.markFreed(ref);
             ++stats_.removedClauses;
@@ -563,10 +590,16 @@ SolveStatus Solver::search(std::int64_t conflictBudget) {
             }
             if (decisionLevel() == 0) {
                 ok_ = false;
+                if (proof_ != nullptr) {
+                    proof_->addEmptyClause();
+                }
                 return SolveStatus::Unsat;
             }
             int backtrackLevel = 0;
             analyze(conflict, learntClause, backtrackLevel);
+            if (proof_ != nullptr) {
+                proof_->addClause(learntClause);
+            }
             cancelUntil(backtrackLevel);
             if (learntClause.size() == 1) {
                 uncheckedEnqueue(learntClause[0], kInvalidClause);
@@ -647,8 +680,8 @@ SolveStatus Solver::solve(std::span<const Literal> assumptions) {
                          "assumption references unknown variable");
     }
     if (maxLearnts_ <= 0.0) {
-        maxLearnts_ =
-            std::max(1000.0, static_cast<double>(clauses_.size()) * options_.learntSizeFactor);
+        maxLearnts_ = std::max(options_.learntSizeFloor,
+                               static_cast<double>(clauses_.size()) * options_.learntSizeFactor);
     }
 
     SolveStatus status = SolveStatus::Unknown;

@@ -27,6 +27,8 @@
 
 namespace etcs::sat {
 
+class ProofWriter;
+
 class Solver {
 public:
     Solver() = default;
@@ -75,6 +77,15 @@ public:
     [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
     [[nodiscard]] SolverOptions& options() noexcept { return options_; }
     [[nodiscard]] const SolverOptions& options() const noexcept { return options_; }
+
+    /// Attach a DRAT proof sink (nullptr to detach; not owned). Every
+    /// derived clause (normalized inputs, learnt clauses, units) and every
+    /// discarded learnt clause is logged, so an Unsat verdict of solve()
+    /// without assumptions can be certified against the original formula
+    /// by an independent checker (drat_check.hpp). When no writer is
+    /// attached — the default — each logging site costs one branch.
+    void setProofWriter(ProofWriter* proof) noexcept { proof_ = proof; }
+    [[nodiscard]] ProofWriter* proofWriter() const noexcept { return proof_; }
 
     /// Rebuild the clause arena without the space of deleted clauses.
     /// Called automatically when a third of the arena is garbage; exposed
@@ -158,6 +169,7 @@ private:
 
     SolverOptions options_;
     SolverStats stats_;
+    ProofWriter* proof_ = nullptr;  ///< DRAT sink; nullptr = logging disabled
 
     ClauseArena arena_;
     std::vector<ClauseRef> clauses_;  ///< problem clauses of size >= 2

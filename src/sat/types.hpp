@@ -124,6 +124,8 @@ struct SolverOptions {
     bool useRestarts = true;           ///< Luby restarts.
     int restartBase = 100;             ///< conflicts per Luby unit.
     double learntSizeFactor = 0.33;    ///< initial learnt DB limit / #clauses.
+    double learntSizeFloor = 1000.0;   ///< minimum learnt DB limit (tests lower
+                                       ///< it to force reductions on small inputs).
     double learntSizeIncrement = 1.1;  ///< DB limit growth per reduction.
     std::int64_t conflictLimit = -1;   ///< stop after this many conflicts (<0: off).
     bool defaultPolarity = false;      ///< polarity used before phase saving kicks in.

@@ -1,0 +1,353 @@
+// Differential correctness harness for the SAT core.
+//
+// Every instance is pushed through several independently implemented
+// pipelines — the internal CDCL solver, the preprocessor + solver
+// combination, and (when compiled in) Z3 — and the verdicts are
+// cross-checked. SAT verdicts are validated by evaluating the model against
+// the original formula; UNSAT verdicts are certified by checking the
+// emitted DRAT proof with the independent backward checker, including runs
+// with preprocessing and forced clause-database reductions.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "cnf/backend.hpp"
+#include "cnf/collect.hpp"
+#include "core/encoder.hpp"
+#include "core/instance.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/drat_check.hpp"
+#include "sat/preprocess.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
+#include "studies/studies.hpp"
+#include "support/test_seed.hpp"
+
+namespace etcs::sat {
+namespace {
+
+CnfFormula makeRandomFormula(std::mt19937& rng, int numVariables, int numClauses,
+                             int clauseSize) {
+    CnfFormula f;
+    f.numVariables = numVariables;
+    std::uniform_int_distribution<int> varDist(0, numVariables - 1);
+    std::bernoulli_distribution signDist(0.5);
+    for (int c = 0; c < numClauses; ++c) {
+        std::vector<Literal> clause;
+        for (int k = 0; k < clauseSize; ++k) {
+            clause.push_back(Literal(varDist(rng), signDist(rng)));
+        }
+        f.clauses.push_back(std::move(clause));
+    }
+    return f;
+}
+
+bool modelSatisfies(const CnfFormula& f, const std::vector<Value>& model) {
+    for (const auto& clause : f.clauses) {
+        bool satisfied = false;
+        for (Literal l : clause) {
+            const Value v = model[static_cast<std::size_t>(l.var())];
+            if ((l.sign() && v == Value::False) || (!l.sign() && v == Value::True)) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (!satisfied) {
+            return false;
+        }
+    }
+    return true;
+}
+
+struct PipelineResult {
+    SolveStatus status = SolveStatus::Unknown;
+    std::vector<Value> model;  ///< populated on Sat, indexed by variable
+    DratProof proof;           ///< populated when a proof writer was attached
+};
+
+/// Pipeline A: the solver alone, logging a DRAT proof.
+PipelineResult solvePlain(const CnfFormula& f, const SolverOptions* options = nullptr) {
+    PipelineResult result;
+    MemoryProofWriter proof;
+    Solver solver;
+    if (options != nullptr) {
+        solver.options() = *options;
+    }
+    solver.setProofWriter(&proof);
+    for (int v = 0; v < f.numVariables; ++v) {
+        solver.addVariable();
+    }
+    for (const auto& clause : f.clauses) {
+        solver.addClause(clause);
+    }
+    result.status = solver.solve();
+    if (result.status == SolveStatus::Sat) {
+        result.model.resize(static_cast<std::size_t>(f.numVariables));
+        for (Var v = 0; v < f.numVariables; ++v) {
+            result.model[static_cast<std::size_t>(v)] = solver.modelValue(v);
+        }
+    }
+    result.proof = proof.takeProof();
+    return result;
+}
+
+/// Pipeline B: preprocessor + solver sharing one proof, model re-extended
+/// with the preprocessor's fixed and pure literals.
+PipelineResult solvePreprocessed(const CnfFormula& original) {
+    PipelineResult result;
+    MemoryProofWriter proof;
+    CnfFormula simplified = original;
+    const PreprocessResult pre = preprocess(simplified, &proof);
+    if (pre.unsatisfiable) {
+        result.status = SolveStatus::Unsat;
+        result.proof = proof.takeProof();
+        return result;
+    }
+    Solver solver;
+    solver.setProofWriter(&proof);
+    for (int v = 0; v < original.numVariables; ++v) {
+        solver.addVariable();
+    }
+    for (const auto& clause : simplified.clauses) {
+        solver.addClause(clause);
+    }
+    result.status = solver.solve();
+    if (result.status == SolveStatus::Sat) {
+        result.model.resize(static_cast<std::size_t>(original.numVariables));
+        for (Var v = 0; v < original.numVariables; ++v) {
+            result.model[static_cast<std::size_t>(v)] = solver.modelValue(v);
+        }
+        for (Literal l : pre.fixedLiterals) {
+            result.model[static_cast<std::size_t>(l.var())] =
+                l.sign() ? Value::False : Value::True;
+        }
+        for (Literal l : pre.pureLiterals) {
+            result.model[static_cast<std::size_t>(l.var())] =
+                l.sign() ? Value::False : Value::True;
+        }
+    }
+    result.proof = proof.takeProof();
+    return result;
+}
+
+#ifdef ETCS_HAVE_Z3
+/// Pipeline C: Z3, a fully independent solver implementation.
+SolveStatus solveZ3(const CnfFormula& f) {
+    const auto backend = cnf::makeZ3Backend();
+    for (int v = 0; v < f.numVariables; ++v) {
+        backend->addVariable();
+    }
+    for (const auto& clause : f.clauses) {
+        backend->addClause(clause);
+    }
+    return backend->solve();
+}
+#endif
+
+/// Certify an UNSAT verdict: the recorded proof must check against the
+/// *original* formula with the independent backward checker.
+::testing::AssertionResult proofCertifies(const CnfFormula& original,
+                                          const DratProof& proof) {
+    const DratCheckResult check = checkDrat(original, proof);
+    if (check.verified) {
+        return ::testing::AssertionSuccess();
+    }
+    return ::testing::AssertionFailure()
+           << "proof rejected: " << check.error << " (" << proof.steps.size()
+           << " steps)";
+}
+
+/// (variables, clauses, clause size, seed) — one batch of the sweep.
+using DiffCase = std::tuple<int, int, int, unsigned>;
+
+class DifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialTest, PipelinesAgreeAndVerdictsAreCertified) {
+    const auto [numVariables, numClauses, clauseSize, baseSeed] = GetParam();
+    const unsigned seed = etcs::test::effectiveSeed(baseSeed);
+    SCOPED_TRACE(etcs::test::seedTrace(seed));
+    std::mt19937 rng(seed);
+
+    int satCount = 0;
+    int unsatCount = 0;
+    for (int round = 0; round < 25; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const CnfFormula f = makeRandomFormula(rng, numVariables, numClauses, clauseSize);
+
+        const PipelineResult plain = solvePlain(f);
+        const PipelineResult preprocessed = solvePreprocessed(f);
+        ASSERT_NE(plain.status, SolveStatus::Unknown);
+        ASSERT_EQ(plain.status, preprocessed.status);
+#ifdef ETCS_HAVE_Z3
+        ASSERT_EQ(plain.status, solveZ3(f));
+#endif
+
+        if (plain.status == SolveStatus::Sat) {
+            ++satCount;
+            EXPECT_TRUE(modelSatisfies(f, plain.model));
+            EXPECT_TRUE(modelSatisfies(f, preprocessed.model));
+        } else {
+            ++unsatCount;
+            EXPECT_TRUE(proofCertifies(f, plain.proof));
+            EXPECT_TRUE(proofCertifies(f, preprocessed.proof));
+        }
+    }
+    // The sweep spans under- and over-constrained densities; every batch
+    // must actually exercise at least one of the two verdict paths.
+    EXPECT_GT(satCount + unsatCount, 0);
+}
+
+// 8 batches x 25 instances = 200 randomized instances per run, spanning
+// 2-SAT and 3/4-SAT below, at, and above the satisfiability threshold.
+INSTANTIATE_TEST_SUITE_P(
+    DensitySweep, DifferentialTest,
+    ::testing::Values(DiffCase{12, 51, 3, 9001},   // ~4.3 (critical)
+                      DiffCase{12, 72, 3, 9002},   // 6.0 (mostly UNSAT)
+                      DiffCase{16, 68, 3, 9003},   // ~4.3
+                      DiffCase{20, 100, 3, 9004},  // 5.0
+                      DiffCase{10, 20, 2, 9005},   // 2-SAT mixed
+                      DiffCase{10, 35, 2, 9006},   // 2-SAT mostly UNSAT
+                      DiffCase{25, 107, 3, 9007},  // ~4.3, larger
+                      DiffCase{30, 135, 4, 9008}   // 4-SAT under-threshold
+                      ));
+
+CnfFormula pigeonhole(int pigeons, int holes) {
+    CnfFormula f;
+    f.numVariables = pigeons * holes;
+    const auto litOf = [holes](int p, int h) { return Literal::positive(p * holes + h); };
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Literal> atLeast;
+        for (int h = 0; h < holes; ++h) {
+            atLeast.push_back(litOf(p, h));
+        }
+        f.clauses.push_back(std::move(atLeast));
+    }
+    for (int h = 0; h < holes; ++h) {
+        for (int p1 = 0; p1 < pigeons; ++p1) {
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+                f.clauses.push_back({~litOf(p1, h), ~litOf(p2, h)});
+            }
+        }
+    }
+    return f;
+}
+
+TEST(DifferentialProofs, SurviveForcedClauseDbReduction) {
+    // A tiny learnt-DB ceiling forces reduceLearnedDb to fire constantly,
+    // so the proof is full of deletion steps (and re-derived units for
+    // dropped root reasons). The checker must still certify it.
+    SolverOptions options;
+    options.learntSizeFactor = 0.01;
+    options.learntSizeFloor = 2.0;
+
+    const CnfFormula php = pigeonhole(7, 6);
+    MemoryProofWriter proof;
+    Solver solver;
+    solver.options() = options;
+    solver.setProofWriter(&proof);
+    for (int v = 0; v < php.numVariables; ++v) {
+        solver.addVariable();
+    }
+    for (const auto& clause : php.clauses) {
+        solver.addClause(clause);
+    }
+    ASSERT_EQ(solver.solve(), SolveStatus::Unsat);
+    ASSERT_GT(solver.stats().removedClauses, 0u)
+        << "test misconfigured: no clause-DB reduction happened";
+    EXPECT_GT(proof.deletions(), 0u);
+    EXPECT_TRUE(proofCertifies(php, proof.proof()));
+}
+
+TEST(DifferentialProofs, RandomInstancesWithForcedReduction) {
+    const unsigned seed = etcs::test::effectiveSeed(7777);
+    SCOPED_TRACE(etcs::test::seedTrace(seed));
+    std::mt19937 rng(seed);
+    SolverOptions options;
+    options.learntSizeFactor = 0.01;
+    options.learntSizeFloor = 2.0;
+
+    int certified = 0;
+    for (int round = 0; round < 20; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const CnfFormula f = makeRandomFormula(rng, 20, 120, 3);  // density 6: UNSAT-heavy
+        const PipelineResult result = solvePlain(f, &options);
+        if (result.status != SolveStatus::Unsat) {
+            continue;
+        }
+        EXPECT_TRUE(proofCertifies(f, result.proof));
+        ++certified;
+    }
+    EXPECT_GT(certified, 0);
+}
+
+// ------------------------------------------------------- ETCS instances --
+
+struct EncodedInstance {
+    CnfFormula sat;    ///< verification on the finest layout (feasible)
+    CnfFormula unsat;  ///< same, plus completion pinned before its bound
+};
+
+EncodedInstance encodeStudy(const studies::CaseStudy& study) {
+    const core::Instance instance(study.network, study.trains, study.timedSchedule,
+                                  study.resolution);
+    EncodedInstance out;
+    {
+        cnf::CollectingBackend backend;
+        core::Encoder encoder(backend, instance);
+        const auto finest = core::VssLayout::finest(instance.graph());
+        encoder.encode(&finest);
+        out.sat = backend.formula();
+    }
+    {
+        cnf::CollectingBackend backend;
+        core::Encoder encoder(backend, instance);
+        const auto finest = core::VssLayout::finest(instance.graph());
+        encoder.encode(&finest);
+        const int bound = encoder.completionLowerBound();
+        EXPECT_GE(bound, 1);
+        backend.addUnit(encoder.doneAllLiteral(std::max(bound - 1, 0)));
+        out.unsat = backend.formula();
+    }
+    return out;
+}
+
+class EncoderDifferentialTest
+    : public ::testing::TestWithParam<studies::CaseStudy (*)()> {};
+
+TEST_P(EncoderDifferentialTest, VerdictsMatchAndProofsCertify) {
+    const studies::CaseStudy study = GetParam()();
+    SCOPED_TRACE(study.name);
+    const EncodedInstance encoded = encodeStudy(study);
+
+    // The timed schedule is feasible on the finest layout: SAT, and the
+    // model must satisfy the exported formula.
+    const PipelineResult sat = solvePlain(encoded.sat);
+    ASSERT_EQ(sat.status, SolveStatus::Sat);
+    EXPECT_TRUE(modelSatisfies(encoded.sat, sat.model));
+
+    // Pinning completion below its lower bound is UNSAT — and every
+    // pipeline's refutation must be certified by the checker.
+    const PipelineResult plain = solvePlain(encoded.unsat);
+    ASSERT_EQ(plain.status, SolveStatus::Unsat);
+    EXPECT_TRUE(proofCertifies(encoded.unsat, plain.proof));
+
+    const PipelineResult preprocessed = solvePreprocessed(encoded.unsat);
+    ASSERT_EQ(preprocessed.status, SolveStatus::Unsat);
+    EXPECT_TRUE(proofCertifies(encoded.unsat, preprocessed.proof));
+
+    // With forced clause-DB reductions on top.
+    SolverOptions options;
+    options.learntSizeFactor = 0.01;
+    options.learntSizeFloor = 2.0;
+    const PipelineResult reduced = solvePlain(encoded.unsat, &options);
+    ASSERT_EQ(reduced.status, SolveStatus::Unsat);
+    EXPECT_TRUE(proofCertifies(encoded.unsat, reduced.proof));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLayouts, EncoderDifferentialTest,
+                         ::testing::Values(&studies::runningExample,
+                                           &studies::simpleLayout));
+
+}  // namespace
+}  // namespace etcs::sat

@@ -43,6 +43,76 @@ TEST(Dimacs, RoundTrip) {
     EXPECT_EQ(parsed.clauses, f.clauses);
 }
 
+TEST(Dimacs, ParsesEmptyClause) {
+    // A bare "0" is the empty clause — trivially unsatisfiable, but legal
+    // DIMACS and exactly what a preprocessor emits for refuted inputs.
+    std::istringstream in("p cnf 2 2\n1 2 0\n0\n");
+    const CnfFormula f = readDimacs(in);
+    ASSERT_EQ(f.clauses.size(), 2u);
+    EXPECT_EQ(f.clauses[0].size(), 2u);
+    EXPECT_TRUE(f.clauses[1].empty());
+}
+
+TEST(Dimacs, EmptyClauseRoundTrips) {
+    CnfFormula f;
+    f.numVariables = 1;
+    f.clauses = {{Literal::positive(0)}, {}};
+    std::stringstream buffer;
+    writeDimacs(buffer, f);
+    const CnfFormula parsed = readDimacs(buffer);
+    EXPECT_EQ(parsed.clauses, f.clauses);
+}
+
+TEST(Dimacs, ParsesZeroVariableFormula) {
+    // "p cnf 0 0" is the vacuously satisfiable empty formula.
+    std::istringstream in("p cnf 0 0\n");
+    const CnfFormula f = readDimacs(in);
+    EXPECT_EQ(f.numVariables, 0);
+    EXPECT_TRUE(f.clauses.empty());
+    std::stringstream buffer;
+    writeDimacs(buffer, f);
+    const CnfFormula parsed = readDimacs(buffer);
+    EXPECT_EQ(parsed.numVariables, 0);
+    EXPECT_TRUE(parsed.clauses.empty());
+}
+
+TEST(Dimacs, AllowsCommentsBetweenClauses) {
+    std::istringstream in(
+        "c leading comment\n"
+        "p cnf 2 2\n"
+        "1 2 0\n"
+        "c interleaved comment\n"
+        "-1 -2 0\n"
+        "c trailing comment\n");
+    const CnfFormula f = readDimacs(in);
+    ASSERT_EQ(f.clauses.size(), 2u);
+    EXPECT_EQ(f.clauses[1][0], Literal::negative(0));
+}
+
+TEST(Dimacs, AllowsCommentInsideSplitClause) {
+    // A clause may span lines; comments in between must not break it.
+    std::istringstream in(
+        "p cnf 3 1\n"
+        "1 2\n"
+        "c mid-clause comment\n"
+        "3 0\n");
+    const CnfFormula f = readDimacs(in);
+    ASSERT_EQ(f.clauses.size(), 1u);
+    EXPECT_EQ(f.clauses[0].size(), 3u);
+}
+
+TEST(Dimacs, RejectsHeaderWithMissingCounts) {
+    std::istringstream varsOnly("p cnf 3\n1 0\n");
+    EXPECT_THROW(readDimacs(varsOnly), InputError);
+    std::istringstream noCounts("p cnf\n1 0\n");
+    EXPECT_THROW(readDimacs(noCounts), InputError);
+}
+
+TEST(Dimacs, RejectsNonNumericToken) {
+    std::istringstream in("p cnf 2 1\n1 x 2 0\n");
+    EXPECT_THROW(readDimacs(in), InputError);
+}
+
 TEST(Dimacs, RejectsMissingHeader) {
     std::istringstream in("1 2 0\n");
     EXPECT_THROW(readDimacs(in), InputError);

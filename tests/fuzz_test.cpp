@@ -7,6 +7,7 @@
 #include "core/tasks.hpp"
 #include "core/validator.hpp"
 #include "studies/studies.hpp"
+#include "support/test_seed.hpp"
 
 namespace etcs::core {
 namespace {
@@ -109,12 +110,12 @@ RandomWorld makeRandomWorld(std::mt19937& rng) {
 class FuzzTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(FuzzTest, EndToEndProperties) {
-    std::mt19937 rng(GetParam());
+    const unsigned seed = etcs::test::effectiveSeed(GetParam());
+    std::mt19937 rng(seed);
     for (int round = 0; round < 5; ++round) {
         const RandomWorld world = makeRandomWorld(rng);
         const Instance timed(world.network, world.trains, world.schedule, world.resolution);
-        SCOPED_TRACE("seed " + std::to_string(GetParam()) + " round " +
-                     std::to_string(round));
+        SCOPED_TRACE(etcs::test::seedTrace(seed) + " round " + std::to_string(round));
 
         // Property 1: generation feasible <=> verification on finest layout.
         const auto finest = VssLayout::finest(timed.graph());

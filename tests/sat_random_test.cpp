@@ -6,6 +6,7 @@
 #include <random>
 
 #include "sat/solver.hpp"
+#include "support/test_seed.hpp"
 
 namespace etcs::sat {
 namespace {
@@ -76,7 +77,9 @@ using RandomCase = std::tuple<int, int, int, unsigned>;
 class RandomCnfTest : public ::testing::TestWithParam<RandomCase> {};
 
 TEST_P(RandomCnfTest, AgreesWithBruteForce) {
-    const auto [numVariables, densityX10, clauseSize, seed] = GetParam();
+    const auto [numVariables, densityX10, clauseSize, baseSeed] = GetParam();
+    const unsigned seed = etcs::test::effectiveSeed(baseSeed);
+    SCOPED_TRACE(etcs::test::seedTrace(seed));
     std::mt19937 rng(seed);
     const int numClauses = numVariables * densityX10 / 10;
     for (int round = 0; round < 12; ++round) {
@@ -91,9 +94,10 @@ TEST_P(RandomCnfTest, AgreesWithBruteForce) {
         const SolveStatus status = solver.solve();
         const bool expected = bruteForceSat(cnf);
         ASSERT_EQ(status, expected ? SolveStatus::Sat : SolveStatus::Unsat)
-            << "vars=" << numVariables << " clauses=" << numClauses << " round=" << round;
+            << "seed=" << seed << " vars=" << numVariables << " clauses=" << numClauses
+            << " round=" << round;
         if (status == SolveStatus::Sat) {
-            EXPECT_TRUE(modelSatisfies(solver, cnf));
+            EXPECT_TRUE(modelSatisfies(solver, cnf)) << "seed=" << seed;
         }
     }
 }
@@ -113,7 +117,9 @@ class RandomAssumptionTest : public ::testing::TestWithParam<unsigned> {};
 TEST_P(RandomAssumptionTest, AssumptionsMatchHardUnits) {
     // Solving under assumptions must match solving with the same literals
     // added as unit clauses to a fresh solver.
-    std::mt19937 rng(GetParam());
+    const unsigned seed = etcs::test::effectiveSeed(GetParam());
+    SCOPED_TRACE(etcs::test::seedTrace(seed));
+    std::mt19937 rng(seed);
     for (int round = 0; round < 10; ++round) {
         const RandomCnf cnf = makeRandomCnf(rng, 10, 38, 3);
         std::uniform_int_distribution<int> varDist(0, 9);
@@ -147,7 +153,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssumptionTest, ::testing::Values(11u, 22u
 
 TEST(RandomCnf, CoreIsActuallyUnsat) {
     // Every reported conflict core, added as units, must be unsatisfiable.
-    std::mt19937 rng(99);
+    const unsigned seed = etcs::test::effectiveSeed(99);
+    SCOPED_TRACE(etcs::test::seedTrace(seed));
+    std::mt19937 rng(seed);
     int coresChecked = 0;
     for (int round = 0; round < 40 && coresChecked < 8; ++round) {
         const RandomCnf cnf = makeRandomCnf(rng, 10, 35, 3);

@@ -1,0 +1,36 @@
+/// \file seeded_main.cpp
+/// gtest main for randomized test binaries: accepts `--seed=N` (or
+/// `--seed N`) in addition to the usual gtest flags and routes it to
+/// etcs::test::effectiveSeed (see test_seed.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "support/test_seed.hpp"
+
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        const char* value = nullptr;
+        if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+            value = argv[i] + 7;
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            value = argv[++i];
+        } else {
+            continue;
+        }
+        char* end = nullptr;
+        const unsigned long seed = std::strtoul(value, &end, 10);
+        if (end == value || *end != '\0') {
+            std::cerr << "invalid --seed value: " << value << "\n";
+            return 2;
+        }
+        etcs::test::seedOverride() = static_cast<unsigned>(seed);
+    }
+    if (etcs::test::seedOverride().has_value()) {
+        std::cout << "[ seed     ] override " << *etcs::test::seedOverride() << "\n";
+    }
+    return RUN_ALL_TESTS();
+}

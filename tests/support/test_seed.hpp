@@ -1,0 +1,49 @@
+/// \file test_seed.hpp
+/// Reproducible seeds for randomized tests.
+///
+/// Randomized tests obtain their RNG seed through effectiveSeed(fallback).
+/// The fallback (the value baked into the test's parameter list) is used
+/// unless the run overrides it:
+///   * `--seed=N` on the test binary's command line (binaries built with
+///     tests/support/seeded_main.cpp), or
+///   * the `ETCS_TEST_SEED` environment variable.
+/// Failure messages always include the effective seed, so a failing run
+/// can be replayed with  ETCS_TEST_SEED=N ./sat_random_test  or
+/// `./sat_random_test --seed=N` plus a --gtest_filter for the failing case.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace etcs::test {
+
+/// Slot filled by seeded_main.cpp when --seed=N is on the command line.
+inline std::optional<unsigned>& seedOverride() {
+    static std::optional<unsigned> slot;
+    return slot;
+}
+
+/// The seed this run should use where a test would default to `fallback`.
+inline unsigned effectiveSeed(unsigned fallback) {
+    if (seedOverride().has_value()) {
+        return *seedOverride();
+    }
+    if (const char* env = std::getenv("ETCS_TEST_SEED")) {
+        char* end = nullptr;
+        const unsigned long value = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0') {
+            return static_cast<unsigned>(value);
+        }
+    }
+    return fallback;
+}
+
+/// "seed N" — the trace string every randomized test scopes its rounds with.
+inline std::string seedTrace(unsigned seed) {
+    return "seed " + std::to_string(seed) +
+           " (replay: ETCS_TEST_SEED=" + std::to_string(seed) + " or --seed=" +
+           std::to_string(seed) + ")";
+}
+
+}  // namespace etcs::test

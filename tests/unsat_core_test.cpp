@@ -1,0 +1,147 @@
+// Failed-assumption (unsat-core) regression tests with hand-verified
+// minimal cores, including cores reported after incremental re-solves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+
+#include "sat/solver.hpp"
+
+namespace etcs::sat {
+namespace {
+
+Literal pos(int v) { return Literal::positive(v); }
+Literal neg(int v) { return Literal::negative(v); }
+
+std::vector<Literal> sorted(std::vector<Literal> lits) {
+    std::sort(lits.begin(), lits.end());
+    return lits;
+}
+
+TEST(UnsatCore, SingleContradictedAssumption) {
+    // Formula forces b (via (a|b) and (-a|b)); assuming -b must fail with
+    // the minimal core {-b}.
+    Solver solver;
+    const Var a = solver.addVariable();
+    const Var b = solver.addVariable();
+    solver.addClause({pos(a), pos(b)});
+    solver.addClause({neg(a), pos(b)});
+    ASSERT_EQ(solver.solve({neg(b)}), SolveStatus::Unsat);
+    EXPECT_EQ(solver.conflictCore(), std::vector<Literal>{neg(b)});
+}
+
+TEST(UnsatCore, ImplicationChainNeedsBothEndpoints) {
+    // x0 -> x1 -> x2; assuming {x0, -x2} is UNSAT and both assumptions are
+    // required — the minimal core is exactly that pair.
+    Solver solver;
+    const Var x0 = solver.addVariable();
+    const Var x1 = solver.addVariable();
+    const Var x2 = solver.addVariable();
+    solver.addClause({neg(x0), pos(x1)});
+    solver.addClause({neg(x1), pos(x2)});
+    ASSERT_EQ(solver.solve({pos(x0), neg(x2)}), SolveStatus::Unsat);
+    EXPECT_EQ(sorted(solver.conflictCore()),
+              sorted({pos(x0), neg(x2)}));
+    // Each assumption alone is satisfiable.
+    EXPECT_EQ(solver.solve({pos(x0)}), SolveStatus::Sat);
+    EXPECT_EQ(solver.solve({neg(x2)}), SolveStatus::Sat);
+}
+
+TEST(UnsatCore, IrrelevantAssumptionsStayOut) {
+    // Among five assumptions only the {x0, -x2} pair is contradictory; the
+    // unconstrained y/z assumptions must not leak into the core.
+    Solver solver;
+    const Var x0 = solver.addVariable();
+    const Var x1 = solver.addVariable();
+    const Var x2 = solver.addVariable();
+    const Var y = solver.addVariable();
+    const Var z = solver.addVariable();
+    solver.addClause({neg(x0), pos(x1)});
+    solver.addClause({neg(x1), pos(x2)});
+    ASSERT_EQ(solver.solve({pos(y), pos(x0), neg(z), neg(x2)}), SolveStatus::Unsat);
+    EXPECT_EQ(sorted(solver.conflictCore()), sorted({pos(x0), neg(x2)}));
+}
+
+TEST(UnsatCore, ComplementaryAssumptionPair) {
+    // Assuming both a and -a: the core is the complementary pair itself,
+    // independent of the (satisfiable) formula.
+    Solver solver;
+    const Var a = solver.addVariable();
+    const Var b = solver.addVariable();
+    solver.addClause({pos(a), pos(b)});
+    ASSERT_EQ(solver.solve({pos(a), neg(a)}), SolveStatus::Unsat);
+    const std::vector<Literal> core = sorted(solver.conflictCore());
+    EXPECT_EQ(core, sorted({pos(a), neg(a)}));
+}
+
+TEST(UnsatCore, RootLevelFalsifiedAssumption) {
+    // The formula fixes a at the root; assuming -a fails immediately with
+    // the minimal core {-a}.
+    Solver solver;
+    const Var a = solver.addVariable();
+    solver.addClause({pos(a)});
+    ASSERT_EQ(solver.solve({neg(a)}), SolveStatus::Unsat);
+    EXPECT_EQ(solver.conflictCore(), std::vector<Literal>{neg(a)});
+}
+
+TEST(UnsatCore, CoreAfterIncrementalResolve) {
+    // First solve succeeds; clauses added afterwards create a new
+    // contradiction, and the re-solve must report the new minimal core.
+    Solver solver;
+    const Var p = solver.addVariable();
+    const Var q = solver.addVariable();
+    const Var r = solver.addVariable();
+    solver.addClause({neg(p), pos(q)});
+    ASSERT_EQ(solver.solve({pos(p), pos(r)}), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(q), Value::True);
+
+    // New knowledge: q forbids r.
+    solver.addClause({neg(q), neg(r)});
+    ASSERT_EQ(solver.solve({pos(p), pos(r)}), SolveStatus::Unsat);
+    EXPECT_EQ(sorted(solver.conflictCore()), sorted({pos(p), pos(r)}));
+
+    // The solver stays usable: dropping either assumption is SAT again.
+    ASSERT_EQ(solver.solve({pos(p)}), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(r), Value::False);
+    ASSERT_EQ(solver.solve({pos(r)}), SolveStatus::Sat);
+    EXPECT_EQ(solver.modelValue(q), Value::False);
+}
+
+TEST(UnsatCore, CoreIsUnsatWhenReplayedAsUnits) {
+    // Satisfiable 2-pigeons/2-holes placement; the assumptions put both
+    // pigeons into hole 0, which is exactly the hand-verified minimal
+    // core. Replaying the core as hard units must still be UNSAT.
+    const auto addPlacement = [](Solver& s, std::span<const Var> vars) {
+        s.addClause({pos(vars[0]), pos(vars[1])});  // pigeon 0 somewhere
+        s.addClause({pos(vars[2]), pos(vars[3])});  // pigeon 1 somewhere
+        s.addClause({neg(vars[0]), neg(vars[2])});  // hole 0 exclusive
+        s.addClause({neg(vars[1]), neg(vars[3])});  // hole 1 exclusive
+    };
+    Solver solver;
+    std::vector<Var> vars;
+    for (int i = 0; i < 6; ++i) {  // 4 placement vars + 2 free decoys
+        vars.push_back(solver.addVariable());
+    }
+    addPlacement(solver, vars);
+    ASSERT_EQ(solver.solve(), SolveStatus::Sat);
+
+    const std::vector<Literal> assumptions = {pos(vars[4]), pos(vars[0]),
+                                              pos(vars[2]), neg(vars[5])};
+    ASSERT_EQ(solver.solve(assumptions), SolveStatus::Unsat);
+    const std::vector<Literal> core = solver.conflictCore();
+    EXPECT_EQ(sorted(core), sorted({pos(vars[0]), pos(vars[2])}));
+
+    Solver replay;
+    for (int i = 0; i < 6; ++i) {
+        replay.addVariable();
+    }
+    addPlacement(replay, vars);
+    bool consistent = true;
+    for (Literal l : core) {
+        consistent = replay.addClause({l}) && consistent;
+    }
+    EXPECT_TRUE(!consistent || replay.solve() == SolveStatus::Unsat);
+}
+
+}  // namespace
+}  // namespace etcs::sat

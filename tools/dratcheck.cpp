@@ -1,0 +1,83 @@
+/// \file dratcheck.cpp
+/// Standalone DRAT proof checker for (DIMACS, proof) pairs.
+///
+/// Usage: dratcheck [-q] formula.cnf proof.drat
+///
+/// The proof may be text DRAT or binary DRAT (auto-detected). Prints
+/// VERIFIED and exits 0 when the proof derives the empty clause from the
+/// formula; prints NOT VERIFIED with a reason and exits 1 otherwise.
+/// Exit code 2 signals a usage or input error.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sat/dimacs.hpp"
+#include "sat/drat_check.hpp"
+#include "sat/proof.hpp"
+
+namespace {
+
+void printUsage(std::ostream& os) {
+    os << "usage: dratcheck [-q] formula.cnf proof.drat\n"
+          "  -q, --quiet   suppress the statistics line\n"
+          "Checks that the DRAT proof (text or binary, auto-detected)\n"
+          "derives the empty clause from the DIMACS formula.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quiet = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-q" || arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "-h" || arg == "--help") {
+            printUsage(std::cout);
+            return 0;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    try {
+        std::ifstream cnfIn(paths[0]);
+        if (!cnfIn) {
+            std::cerr << "error: cannot open " << paths[0] << "\n";
+            return 2;
+        }
+        const etcs::sat::CnfFormula formula = etcs::sat::readDimacs(cnfIn);
+
+        std::ifstream proofIn(paths[1], std::ios::binary);
+        if (!proofIn) {
+            std::cerr << "error: cannot open " << paths[1] << "\n";
+            return 2;
+        }
+        const etcs::sat::DratProof proof = etcs::sat::readDrat(proofIn);
+
+        const etcs::sat::DratCheckResult result = etcs::sat::checkDrat(formula, proof);
+        if (!quiet) {
+            std::cout << "c formula: " << formula.numVariables << " vars, "
+                      << formula.clauses.size() << " clauses\n"
+                      << "c proof: " << result.stats.proofSteps << " steps, "
+                      << result.stats.verifiedLemmas << " lemmas verified ("
+                      << result.stats.ratLemmas << " RAT), " << result.stats.skippedLemmas
+                      << " skipped, core " << result.stats.coreClauses << " clauses\n";
+        }
+        if (result.verified) {
+            std::cout << "VERIFIED\n";
+            return 0;
+        }
+        std::cout << "NOT VERIFIED: " << result.error << "\n";
+        return 1;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}

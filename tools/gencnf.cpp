@@ -1,0 +1,91 @@
+/// \file gencnf.cpp
+/// Export an ETCS verification encoding as a DIMACS CNF file.
+///
+/// Usage: gencnf <running|simple> [--unsat] output.cnf
+///
+/// Encodes the named case study's timed schedule on the finest VSS layout.
+/// With --unsat, additionally pins "all trains done" one step before the
+/// completion lower bound, which makes the formula unsatisfiable — the
+/// resulting (formula, proof) pairs exercise the proof pipeline in CI.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cnf/collect.hpp"
+#include "core/encoder.hpp"
+#include "core/instance.hpp"
+#include "sat/dimacs.hpp"
+#include "studies/studies.hpp"
+
+namespace {
+
+void printUsage(std::ostream& os) {
+    os << "usage: gencnf <running|simple> [--unsat] output.cnf\n"
+          "  --unsat   pin completion before its lower bound (UNSAT instance)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool unsat = false;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--unsat") {
+            unsat = true;
+        } else if (arg == "-h" || arg == "--help") {
+            printUsage(std::cout);
+            return 0;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) {
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    try {
+        etcs::studies::CaseStudy study;
+        if (positional[0] == "running") {
+            study = etcs::studies::runningExample();
+        } else if (positional[0] == "simple") {
+            study = etcs::studies::simpleLayout();
+        } else {
+            std::cerr << "error: unknown study '" << positional[0] << "'\n";
+            printUsage(std::cerr);
+            return 2;
+        }
+
+        const etcs::core::Instance instance(study.network, study.trains, study.timedSchedule,
+                                            study.resolution);
+        etcs::cnf::CollectingBackend backend;
+        etcs::core::Encoder encoder(backend, instance);
+        const auto finest = etcs::core::VssLayout::finest(instance.graph());
+        encoder.encode(&finest);
+        if (unsat) {
+            const int bound = encoder.completionLowerBound();
+            if (bound < 1) {
+                std::cerr << "error: completion lower bound is 0; cannot pin earlier\n";
+                return 2;
+            }
+            backend.addUnit(encoder.doneAllLiteral(bound - 1));
+        }
+
+        std::ofstream out(positional[1]);
+        if (!out) {
+            std::cerr << "error: cannot open " << positional[1] << "\n";
+            return 2;
+        }
+        const etcs::sat::CnfFormula formula = backend.formula();
+        etcs::sat::writeDimacs(out, formula);
+        std::cout << "c " << study.name << (unsat ? " (UNSAT pin)" : "") << ": "
+                  << formula.numVariables << " vars, " << formula.clauses.size()
+                  << " clauses -> " << positional[1] << "\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}
