@@ -50,6 +50,9 @@ public:
     /// Discretize. Throws InputError when a train cannot move at this
     /// resolution (speed rounds down to zero segments per step) or when a
     /// run's timing is inconsistent (arrival before departure).
+    ///
+    /// The instance keeps references to `network`, `trains` and `schedule`;
+    /// the caller must keep them alive for the instance's lifetime.
     Instance(const Network& network, const TrainSet& trains, const Schedule& schedule,
              Resolution resolution);
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <string>
 
+#include "lint/rail_lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -23,6 +24,31 @@ std::unique_ptr<cnf::SatBackend> makeBackend(const TaskOptions& options) {
 
 double secondsSince(Clock::time_point start) {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fail-fast pre-pass: run the instance linter and report whether it proved
+/// the schedule unsatisfiable. The schedule lints are sound w.r.t. the
+/// encoding (see lint/rail_lint.hpp), so an Error-severity finding lets the
+/// task return infeasible without encoding or solving anything.
+bool lintRejects(const Instance& instance, const TaskOptions& options, const char* task) {
+    if (!options.lintInstance) {
+        return false;
+    }
+    lint::LintReport report;
+    lint::lintSchedule(instance.graph(), instance.trains(), instance.schedule(), report);
+    report.recordMetrics();
+    if (!report.hasErrors()) {
+        return false;
+    }
+    obs::Registry::global()
+        .counter(std::string("etcs.task.") + task + ".lint_rejected")
+        .increment();
+    if (obs::logEnabled(obs::LogLevel::Info)) {
+        obs::log(obs::LogLevel::Info, "task", task,
+                 ",\"lint_rejected\":true,\"errors\":" +
+                     std::to_string(report.count(lint::Severity::Error)));
+    }
+    return true;
 }
 
 /// Fold formula size and the backend's solver counters into the task stats,
@@ -63,6 +89,10 @@ VerificationResult verifySchedule(const Instance& instance, const VssLayout& lay
     const obs::Span span("task.verify");
     const auto start = Clock::now();
     VerificationResult result;
+    if (lintRejects(instance, options, "verify")) {
+        result.stats.runtimeSeconds = secondsSince(start);
+        return result;
+    }
 
     const auto backend = makeBackend(options);
     Encoder encoder(*backend, instance, options.encoder);
@@ -83,6 +113,10 @@ GenerationResult generateLayout(const Instance& instance, const TaskOptions& opt
     const obs::Span span("task.generate");
     const auto start = Clock::now();
     GenerationResult result;
+    if (lintRejects(instance, options, "generate")) {
+        result.stats.runtimeSeconds = secondsSince(start);
+        return result;
+    }
 
     const auto backend = makeBackend(options);
     Encoder encoder(*backend, instance, options.encoder);
@@ -129,6 +163,10 @@ OptimizationResult optimizeImpl(const Instance& instance, const VssLayout* fixed
     const obs::Span span("task.optimize");
     const auto start = Clock::now();
     OptimizationResult result;
+    if (lintRejects(instance, options, "optimize")) {
+        result.stats.runtimeSeconds = secondsSince(start);
+        return result;
+    }
 
     const auto backend = makeBackend(options);
     Encoder encoder(*backend, instance, options.encoder);

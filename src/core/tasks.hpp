@@ -41,6 +41,13 @@ struct TaskOptions {
     sat::ProgressCallback progress;
     /// Conflicts between progress callbacks.
     std::uint64_t progressIntervalConflicts = 16384;
+    /// Run the instance linter (lint/rail_lint.hpp) before encoding and fail
+    /// fast — no encode, no solver call — when it proves the schedule
+    /// infeasible (shortest-path lower bounds, headway conflicts, horizon
+    /// overruns). Lint counts are recorded in the metrics registry either
+    /// way; set to false to opt out and always hand the instance to the
+    /// solver.
+    bool lintInstance = true;
 };
 
 /// Effort/size measurements common to all tasks (Table I columns), extended

@@ -1,0 +1,244 @@
+#include "lint/cnf_lint.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace etcs::lint {
+
+namespace {
+
+using sat::CnfFormula;
+using sat::Literal;
+using sat::Var;
+
+/// Emits at most `cap` diagnostics per code, folding the overflow into one
+/// closing summary so huge formulas stay readable.
+class CappedEmitter {
+public:
+    CappedEmitter(LintReport& report, std::size_t cap) : report_(&report), cap_(cap) {}
+
+    void emit(Diagnostic diagnostic) {
+        const std::size_t seen = ++seen_[diagnostic.code];
+        if (seen <= cap_) {
+            report_->add(std::move(diagnostic));
+        }
+    }
+
+    void flush() {
+        for (const auto& [code, seen] : seen_) {
+            if (seen > cap_) {
+                Severity severity = Severity::Warning;
+                for (const CodeInfo& info : knownCodes()) {
+                    if (info.code == code) {
+                        severity = info.severity;
+                        break;
+                    }
+                }
+                report_->add(Diagnostic{code, severity, "formula",
+                                        "... and " + std::to_string(seen - cap_) +
+                                            " more " + code + " findings (capped)",
+                                        {}});
+            }
+        }
+    }
+
+private:
+    LintReport* report_;
+    std::size_t cap_;
+    std::unordered_map<std::string, std::size_t> seen_;
+};
+
+/// FNV-1a over the literal codes of a normalized clause.
+std::uint64_t hashClause(const std::vector<Literal>& clause) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const Literal l : clause) {
+        h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.code()));
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/// Union-find over variables for the component decomposition.
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n) : parent_(n) {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::size_t find(std::size_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(std::size_t a, std::size_t b) {
+        a = find(a);
+        b = find(b);
+        if (a != b) {
+            parent_[b] = a;
+        }
+    }
+
+private:
+    std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+CnfLintResult lintFormula(const CnfFormula& formula, const CnfLintOptions& options) {
+    CnfLintResult result;
+    CappedEmitter emit(result.report, options.maxDiagnosticsPerCode);
+
+    const auto numVars = static_cast<std::size_t>(std::max(formula.numVariables, 0));
+    std::vector<std::uint8_t> positive(numVars, 0);
+    std::vector<std::uint8_t> negative(numVars, 0);
+    // Unit polarity per variable: 0 none, 1 positive, 2 negative, 3 both.
+    std::vector<std::uint8_t> unitPolarity(numVars, 0);
+    UnionFind components(numVars);
+
+    std::unordered_multimap<std::uint64_t, std::size_t> clausesByHash;
+    std::vector<std::vector<Literal>> normalized(formula.clauses.size());
+
+    for (std::size_t ci = 0; ci < formula.clauses.size(); ++ci) {
+        const std::vector<Literal>& clause = formula.clauses[ci];
+        const std::string entity = "clause " + std::to_string(ci + 1);
+
+        if (clause.empty()) {
+            emit.emit(Diagnostic{"C007", Severity::Error, entity,
+                                 "empty clause: the formula is trivially unsatisfiable",
+                                 {}});
+            continue;
+        }
+
+        bool outOfRange = false;
+        for (const Literal l : clause) {
+            if (!l.valid() || static_cast<std::size_t>(l.var()) >= numVars) {
+                emit.emit(Diagnostic{"C008", Severity::Error, entity,
+                                     "literal references variable " +
+                                         std::to_string(l.var() + 1) +
+                                         " beyond the declared count (" +
+                                         std::to_string(formula.numVariables) + ")",
+                                     "fix the variable count in the problem header"});
+                outOfRange = true;
+            }
+        }
+        if (outOfRange) {
+            continue;
+        }
+
+        std::vector<Literal> sorted = clause;
+        std::sort(sorted.begin(), sorted.end());
+        bool duplicateLiteral = false;
+        bool tautology = false;
+        for (std::size_t i = 1; i < sorted.size(); ++i) {
+            if (sorted[i] == sorted[i - 1]) {
+                duplicateLiteral = true;
+            }
+            if (sorted[i].var() == sorted[i - 1].var() &&
+                sorted[i].sign() != sorted[i - 1].sign()) {
+                tautology = true;
+            }
+        }
+        if (duplicateLiteral) {
+            emit.emit(Diagnostic{"C002", Severity::Warning, entity,
+                                 "duplicate literal inside the clause",
+                                 "deduplicate the literals"});
+        }
+        if (tautology) {
+            emit.emit(Diagnostic{"C001", Severity::Warning, entity,
+                                 "tautological clause: contains a literal and its negation",
+                                 "drop the clause; it constrains nothing"});
+        }
+
+        sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+        const std::uint64_t h = hashClause(sorted);
+        bool duplicateClause = false;
+        const auto [lo, hi] = clausesByHash.equal_range(h);
+        for (auto it = lo; it != hi; ++it) {
+            if (normalized[it->second] == sorted) {
+                emit.emit(Diagnostic{"C003", Severity::Warning, entity,
+                                     "duplicate of clause " +
+                                         std::to_string(it->second + 1),
+                                     "emit each clause once"});
+                duplicateClause = true;
+                break;
+            }
+        }
+        if (!duplicateClause) {
+            clausesByHash.emplace(h, ci);
+        }
+        normalized[ci] = std::move(sorted);
+
+        for (const Literal l : normalized[ci]) {
+            const auto v = static_cast<std::size_t>(l.var());
+            (l.sign() ? negative : positive)[v] = 1;
+            components.unite(static_cast<std::size_t>(normalized[ci][0].var()), v);
+        }
+        if (!tautology && normalized[ci].size() == 1) {
+            const Literal unit = normalized[ci][0];
+            const auto v = static_cast<std::size_t>(unit.var());
+            unitPolarity[v] |= unit.sign() ? 2 : 1;
+            if (unitPolarity[v] == 3) {
+                emit.emit(Diagnostic{"C004", Severity::Error,
+                                     "var " + std::to_string(unit.var() + 1),
+                                     "contradictory unit clauses: the formula is "
+                                     "trivially unsatisfiable",
+                                     {}});
+            }
+        }
+    }
+
+    // Variable-level findings: unreferenced (C005) and single-polarity (C006).
+    for (std::size_t v = 0; v < numVars; ++v) {
+        const std::string entity = "var " + std::to_string(v + 1);
+        if (positive[v] == 0 && negative[v] == 0) {
+            emit.emit(Diagnostic{"C005", Severity::Warning, entity,
+                                 "variable is never referenced by any clause "
+                                 "(unconstrained auxiliary)",
+                                 "drop the variable or constrain it"});
+        } else if (positive[v] == 0 || negative[v] == 0) {
+            emit.emit(Diagnostic{"C006", Severity::Info, entity,
+                                 std::string("variable occurs only ") +
+                                     (positive[v] != 0 ? "positively" : "negatively") +
+                                     " (pure literal)",
+                                 {}});
+        }
+    }
+
+    // Component decomposition over referenced variables.
+    std::unordered_map<std::size_t, std::size_t> sizeByRoot;
+    for (std::size_t v = 0; v < numVars; ++v) {
+        if (positive[v] != 0 || negative[v] != 0) {
+            ++sizeByRoot[components.find(v)];
+        }
+    }
+    result.components.numComponents = sizeByRoot.size();
+    result.components.componentVariables.reserve(sizeByRoot.size());
+    for (const auto& [root, size] : sizeByRoot) {
+        result.components.componentVariables.push_back(size);
+    }
+    std::sort(result.components.componentVariables.begin(),
+              result.components.componentVariables.end(), std::greater<>());
+    if (result.components.numComponents > 1) {
+        result.report.add(Diagnostic{
+            "C010", Severity::Info, "formula",
+            "formula decomposes into " + std::to_string(result.components.numComponents) +
+                " independent variable components (largest " +
+                std::to_string(result.components.componentVariables.front()) +
+                " variables); components can be solved in parallel",
+            {}});
+    }
+
+    emit.flush();
+    return result;
+}
+
+}  // namespace etcs::lint

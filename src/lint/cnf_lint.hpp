@@ -1,0 +1,45 @@
+/// \file cnf_lint.hpp
+/// CNF linter: structural checks over a collected formula (diagnostic codes
+/// C0xx, see docs/LINTING.md) plus a variable connected-component
+/// decomposition report.
+///
+/// Run it over the formula-collector backend output (cnf/collect.hpp) to
+/// audit an encoding — tautologies, duplicate clauses, contradictory units,
+/// and auxiliary variables that Tseitin/AMO/totalizer constructions created
+/// but never constrained — or over any DIMACS file. The component report is
+/// the seam for future instance partitioning: independent components can be
+/// solved in parallel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "sat/dimacs.hpp"
+
+namespace etcs::lint {
+
+struct CnfLintOptions {
+    /// Emit at most this many diagnostics per code; the remainder is folded
+    /// into one closing summary diagnostic with the same code. Keeps reports
+    /// readable on million-clause formulas.
+    std::size_t maxDiagnosticsPerCode = 25;
+};
+
+/// Variable connected components of the formula's primal graph (variables
+/// joined when they share a clause). Variables that occur in no clause are
+/// excluded (they get a C005 diagnostic instead).
+struct CnfComponentSummary {
+    std::size_t numComponents = 0;
+    std::vector<std::size_t> componentVariables;  ///< sizes, largest first
+};
+
+struct CnfLintResult {
+    LintReport report;
+    CnfComponentSummary components;
+};
+
+[[nodiscard]] CnfLintResult lintFormula(const sat::CnfFormula& formula,
+                                        const CnfLintOptions& options = {});
+
+}  // namespace etcs::lint

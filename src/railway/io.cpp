@@ -1,6 +1,7 @@
 #include "railway/io.hpp"
 
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -25,26 +26,50 @@ std::vector<std::string> tokenize(const std::string& line) {
     return tokens;
 }
 
-[[noreturn]] void fail(int lineNumber, const std::string& message) {
-    throw InputError("line " + std::to_string(lineNumber) + ": " + message);
-}
-
-std::int64_t parseInt(const std::string& token, int lineNumber) {
+std::optional<std::int64_t> tryParseInt(const std::string& token) {
     try {
         std::size_t consumed = 0;
         const std::int64_t value = std::stoll(token, &consumed);
         if (consumed != token.size()) {
-            fail(lineNumber, "malformed integer: " + token);
+            return std::nullopt;
         }
         return value;
     } catch (const std::exception&) {
-        fail(lineNumber, "malformed integer: " + token);
+        return std::nullopt;
     }
 }
 
-}  // namespace
+std::optional<Seconds> tryParseClock(const std::string& token) {
+    try {
+        return Seconds::parse(token);
+    } catch (const Error&) {
+        return std::nullopt;
+    }
+}
 
-Network readNetwork(std::istream& in) {
+/// Routes parse problems either to an issue handler (lenient mode; the
+/// caller skips the offending line and continues) or into an InputError
+/// (strict mode).
+class IssueSink {
+public:
+    explicit IssueSink(const ParseIssueHandler* handler) : handler_(handler) {}
+
+    /// Report one problem. Returns normally only in lenient mode.
+    void report(int line, const char* code, std::string entity, std::string message,
+                std::string hint = {}) const {
+        if (handler_ != nullptr) {
+            (*handler_)(ParseIssue{line, code, std::move(entity), std::move(message),
+                                   std::move(hint)});
+            return;
+        }
+        throw InputError("line " + std::to_string(line) + ": " + message);
+    }
+
+private:
+    const ParseIssueHandler* handler_;
+};
+
+Network parseNetwork(std::istream& in, const IssueSink& sink) {
     Network network;
     bool named = false;
     std::string line;
@@ -58,53 +83,324 @@ Network readNetwork(std::istream& in) {
         const std::string& keyword = tokens[0];
         if (keyword == "network") {
             if (tokens.size() != 2 || named) {
-                fail(lineNumber, "expected a single 'network <name>' line");
+                sink.report(lineNumber, "L001", "network",
+                            "expected a single 'network <name>' line");
+                continue;
             }
             network = Network(tokens[1]);
             named = true;
         } else if (keyword == "node") {
             if (tokens.size() != 2) {
-                fail(lineNumber, "expected 'node <name>'");
+                sink.report(lineNumber, "L001", "node", "expected 'node <name>'");
+                continue;
+            }
+            if (network.findNode(tokens[1])) {
+                sink.report(lineNumber, "L002", "node " + tokens[1],
+                            "duplicate node name: " + tokens[1], "rename one of the nodes");
+                continue;
             }
             network.addNode(tokens[1]);
         } else if (keyword == "track") {
             if (tokens.size() != 5) {
-                fail(lineNumber, "expected 'track <name> <nodeA> <nodeB> <length_m>'");
+                sink.report(lineNumber, "L001", "track",
+                            "expected 'track <name> <nodeA> <nodeB> <length_m>'");
+                continue;
+            }
+            if (network.findTrack(tokens[1])) {
+                sink.report(lineNumber, "L002", "track " + tokens[1],
+                            "duplicate track name: " + tokens[1], "rename one of the tracks");
+                continue;
             }
             const auto a = network.findNode(tokens[2]);
             const auto b = network.findNode(tokens[3]);
             if (!a || !b) {
-                fail(lineNumber, "track references unknown node");
+                sink.report(lineNumber, "L003", "track " + tokens[1],
+                            "track references unknown node: " + (!a ? tokens[2] : tokens[3]),
+                            "declare the node before the track");
+                continue;
             }
-            network.addTrack(tokens[1], *a, *b, Meters(parseInt(tokens[4], lineNumber)));
+            if (*a == *b) {
+                sink.report(lineNumber, "L001", "track " + tokens[1],
+                            "self-loop tracks are not supported");
+                continue;
+            }
+            const auto length = tryParseInt(tokens[4]);
+            if (!length) {
+                sink.report(lineNumber, "L001", "track " + tokens[1],
+                            "malformed integer: " + tokens[4]);
+                continue;
+            }
+            if (*length <= 0) {
+                sink.report(lineNumber, "L004", "track " + tokens[1],
+                            "track length must be positive, got " + tokens[4],
+                            "give the track a positive length in metres");
+                continue;
+            }
+            network.addTrack(tokens[1], *a, *b, Meters(*length));
         } else if (keyword == "ttd") {
             if (tokens.size() < 3) {
-                fail(lineNumber, "expected 'ttd <name> <track>...'");
+                sink.report(lineNumber, "L001", "ttd", "expected 'ttd <name> <track>...'");
+                continue;
+            }
+            if (network.findTtd(tokens[1])) {
+                sink.report(lineNumber, "L002", "ttd " + tokens[1],
+                            "duplicate TTD name: " + tokens[1], "rename one of the TTDs");
+                continue;
             }
             std::vector<TrackId> tracks;
-            for (std::size_t i = 2; i < tokens.size(); ++i) {
+            bool ok = true;
+            for (std::size_t i = 2; ok && i < tokens.size(); ++i) {
                 const auto t = network.findTrack(tokens[i]);
                 if (!t) {
-                    fail(lineNumber, "ttd references unknown track: " + tokens[i]);
+                    sink.report(lineNumber, "L003", "ttd " + tokens[1],
+                                "ttd references unknown track: " + tokens[i],
+                                "declare the track before the TTD");
+                    ok = false;
+                    break;
+                }
+                if (network.ttdOfTrack(*t).valid()) {
+                    sink.report(lineNumber, "L002", "ttd " + tokens[1],
+                                "track " + tokens[i] + " already belongs to a TTD",
+                                "list every track in exactly one TTD");
+                    ok = false;
+                    break;
                 }
                 tracks.push_back(*t);
             }
-            network.addTtd(tokens[1], std::move(tracks));
+            if (ok) {
+                network.addTtd(tokens[1], std::move(tracks));
+            }
         } else if (keyword == "station") {
             if (tokens.size() != 4) {
-                fail(lineNumber, "expected 'station <name> <track> <offset_m>'");
+                sink.report(lineNumber, "L001", "station",
+                            "expected 'station <name> <track> <offset_m>'");
+                continue;
+            }
+            if (network.findStation(tokens[1])) {
+                sink.report(lineNumber, "L002", "station " + tokens[1],
+                            "duplicate station name: " + tokens[1],
+                            "rename one of the stations");
+                continue;
             }
             const auto t = network.findTrack(tokens[2]);
             if (!t) {
-                fail(lineNumber, "station references unknown track: " + tokens[2]);
+                sink.report(lineNumber, "L003", "station " + tokens[1],
+                            "station references unknown track: " + tokens[2],
+                            "declare the track before the station");
+                continue;
             }
-            network.addStation(tokens[1], *t, Meters(parseInt(tokens[3], lineNumber)));
+            const auto offset = tryParseInt(tokens[3]);
+            if (!offset) {
+                sink.report(lineNumber, "L001", "station " + tokens[1],
+                            "malformed integer: " + tokens[3]);
+                continue;
+            }
+            if (*offset < 0 || Meters(*offset) > network.track(*t).length) {
+                sink.report(lineNumber, "L005", "station " + tokens[1],
+                            "station offset " + tokens[3] + " lies outside track " +
+                                tokens[2] + " (length " +
+                                std::to_string(network.track(*t).length.count()) + " m)",
+                            "move the station onto the track");
+                continue;
+            }
+            network.addStation(tokens[1], *t, Meters(*offset));
         } else {
-            fail(lineNumber, "unknown keyword: " + keyword);
+            sink.report(lineNumber, "L001", keyword, "unknown keyword: " + keyword);
         }
     }
+    return network;
+}
+
+Scenario parseScenario(std::istream& in, const Network& network, const IssueSink& sink) {
+    Scenario scenario;
+    std::string line;
+    int lineNumber = 0;
+    while (std::getline(in, line)) {
+        ++lineNumber;
+        const auto tokens = tokenize(line);
+        if (tokens.empty()) {
+            continue;
+        }
+        const std::string& keyword = tokens[0];
+        if (keyword == "scenario") {
+            if (tokens.size() != 2) {
+                sink.report(lineNumber, "L001", "scenario", "expected 'scenario <name>'");
+                continue;
+            }
+            scenario.name = tokens[1];
+        } else if (keyword == "horizon") {
+            if (tokens.size() != 2) {
+                sink.report(lineNumber, "L001", "horizon", "expected 'horizon <clock>'");
+                continue;
+            }
+            const auto clock = tryParseClock(tokens[1]);
+            if (!clock) {
+                sink.report(lineNumber, "L001", "horizon",
+                            "malformed clock value: " + tokens[1]);
+                continue;
+            }
+            scenario.schedule.setHorizon(*clock);
+        } else if (keyword == "train") {
+            if (tokens.size() != 4) {
+                sink.report(lineNumber, "L001", "train",
+                            "expected 'train <name> <speed_kmh> <length_m>'");
+                continue;
+            }
+            if (scenario.trains.findTrain(tokens[1])) {
+                sink.report(lineNumber, "L002", "train " + tokens[1],
+                            "duplicate train name: " + tokens[1],
+                            "rename one of the trains");
+                continue;
+            }
+            const auto speed = tryParseInt(tokens[2]);
+            const auto length = tryParseInt(tokens[3]);
+            if (!speed || !length) {
+                sink.report(lineNumber, "L001", "train " + tokens[1],
+                            "malformed integer: " + (!speed ? tokens[2] : tokens[3]));
+                continue;
+            }
+            if (*speed <= 0 || *length <= 0) {
+                sink.report(lineNumber, "L004", "train " + tokens[1],
+                            "train speed and length must be positive",
+                            "give the train a positive speed and length");
+                continue;
+            }
+            scenario.trains.addTrain(tokens[1], Speed::fromKmPerHour(*speed),
+                                     Meters(*length));
+        } else if (keyword == "run") {
+            // run <train> from <station> dep <clock>
+            //     [via <station> [arr <clock>]]... to <station> [arr <clock>]
+            if (tokens.size() < 8 || tokens[2] != "from" || tokens[4] != "dep") {
+                sink.report(lineNumber, "L001", "run",
+                            "expected 'run <train> from <station> dep <clock> ...'");
+                continue;
+            }
+            TrainRun run;
+            const auto train = scenario.trains.findTrain(tokens[1]);
+            if (!train) {
+                sink.report(lineNumber, "L003", "run " + tokens[1],
+                            "run references unknown train: " + tokens[1],
+                            "declare the train before its run");
+                continue;
+            }
+            run.train = *train;
+            const auto origin = network.findStation(tokens[3]);
+            if (!origin) {
+                sink.report(lineNumber, "L003", "run " + tokens[1],
+                            "run references unknown station: " + tokens[3]);
+                continue;
+            }
+            run.origin = *origin;
+            const auto departure = tryParseClock(tokens[5]);
+            if (!departure) {
+                sink.report(lineNumber, "L001", "run " + tokens[1],
+                            "malformed clock value: " + tokens[5]);
+                continue;
+            }
+            run.departure = *departure;
+            std::size_t i = 6;
+            bool sawDestination = false;
+            bool ok = true;
+            while (ok && i < tokens.size()) {
+                const std::string& kind = tokens[i];
+                if (kind != "via" && kind != "to") {
+                    sink.report(lineNumber, "L001", "run " + tokens[1],
+                                "expected 'via' or 'to', got: " + kind);
+                    ok = false;
+                    break;
+                }
+                if (i + 1 >= tokens.size()) {
+                    sink.report(lineNumber, "L001", "run " + tokens[1],
+                                "missing station after '" + kind + "'");
+                    ok = false;
+                    break;
+                }
+                const auto station = network.findStation(tokens[i + 1]);
+                if (!station) {
+                    sink.report(lineNumber, "L003", "run " + tokens[1],
+                                "run references unknown station: " + tokens[i + 1]);
+                    ok = false;
+                    break;
+                }
+                TimedStop stop{*station, std::nullopt, Seconds{}};
+                i += 2;
+                if (i < tokens.size() && tokens[i] == "arr") {
+                    if (i + 1 >= tokens.size()) {
+                        sink.report(lineNumber, "L001", "run " + tokens[1],
+                                    "missing clock after 'arr'");
+                        ok = false;
+                        break;
+                    }
+                    const auto arrival = tryParseClock(tokens[i + 1]);
+                    if (!arrival) {
+                        sink.report(lineNumber, "L001", "run " + tokens[1],
+                                    "malformed clock value: " + tokens[i + 1]);
+                        ok = false;
+                        break;
+                    }
+                    stop.arrival = *arrival;
+                    i += 2;
+                }
+                if (i < tokens.size() && tokens[i] == "dwell") {
+                    if (i + 1 >= tokens.size()) {
+                        sink.report(lineNumber, "L001", "run " + tokens[1],
+                                    "missing clock after 'dwell'");
+                        ok = false;
+                        break;
+                    }
+                    const auto dwell = tryParseClock(tokens[i + 1]);
+                    if (!dwell) {
+                        sink.report(lineNumber, "L001", "run " + tokens[1],
+                                    "malformed clock value: " + tokens[i + 1]);
+                        ok = false;
+                        break;
+                    }
+                    stop.dwell = *dwell;
+                    i += 2;
+                }
+                run.stops.push_back(stop);
+                if (kind == "to") {
+                    sawDestination = true;
+                    break;
+                }
+            }
+            if (!ok) {
+                continue;
+            }
+            if (!sawDestination || i != tokens.size()) {
+                sink.report(lineNumber, "L001", "run " + tokens[1],
+                            "run must end with 'to <station> [arr <clock>]'");
+                continue;
+            }
+            scenario.schedule.addRun(std::move(run));
+        } else {
+            sink.report(lineNumber, "L001", keyword, "unknown keyword: " + keyword);
+        }
+    }
+    return scenario;
+}
+
+}  // namespace
+
+Network readNetwork(std::istream& in) {
+    Network network = parseNetwork(in, IssueSink(nullptr));
     network.validate();
     return network;
+}
+
+Network readNetworkLenient(std::istream& in, const ParseIssueHandler& onIssue) {
+    ETCS_REQUIRE_MSG(static_cast<bool>(onIssue), "lenient parsing needs an issue handler");
+    return parseNetwork(in, IssueSink(&onIssue));
+}
+
+Scenario readScenario(std::istream& in, const Network& network) {
+    return parseScenario(in, network, IssueSink(nullptr));
+}
+
+Scenario readScenarioLenient(std::istream& in, const Network& network,
+                             const ParseIssueHandler& onIssue) {
+    ETCS_REQUIRE_MSG(static_cast<bool>(onIssue), "lenient parsing needs an issue handler");
+    return parseScenario(in, network, IssueSink(&onIssue));
 }
 
 void writeNetwork(std::ostream& out, const Network& network) {
@@ -127,99 +423,6 @@ void writeNetwork(std::ostream& out, const Network& network) {
         out << "station " << station.name << ' ' << network.track(station.track).name << ' '
             << station.offset.count() << '\n';
     }
-}
-
-Scenario readScenario(std::istream& in, const Network& network) {
-    Scenario scenario;
-    std::string line;
-    int lineNumber = 0;
-    while (std::getline(in, line)) {
-        ++lineNumber;
-        const auto tokens = tokenize(line);
-        if (tokens.empty()) {
-            continue;
-        }
-        const std::string& keyword = tokens[0];
-        if (keyword == "scenario") {
-            if (tokens.size() != 2) {
-                fail(lineNumber, "expected 'scenario <name>'");
-            }
-            scenario.name = tokens[1];
-        } else if (keyword == "horizon") {
-            if (tokens.size() != 2) {
-                fail(lineNumber, "expected 'horizon <clock>'");
-            }
-            scenario.schedule.setHorizon(Seconds::parse(tokens[1]));
-        } else if (keyword == "train") {
-            if (tokens.size() != 4) {
-                fail(lineNumber, "expected 'train <name> <speed_kmh> <length_m>'");
-            }
-            scenario.trains.addTrain(tokens[1],
-                                     Speed::fromKmPerHour(parseInt(tokens[2], lineNumber)),
-                                     Meters(parseInt(tokens[3], lineNumber)));
-        } else if (keyword == "run") {
-            // run <train> from <station> dep <clock>
-            //     [via <station> [arr <clock>]]... to <station> [arr <clock>]
-            if (tokens.size() < 8 || tokens[2] != "from" || tokens[4] != "dep") {
-                fail(lineNumber, "expected 'run <train> from <station> dep <clock> ...'");
-            }
-            TrainRun run;
-            const auto train = scenario.trains.findTrain(tokens[1]);
-            if (!train) {
-                fail(lineNumber, "run references unknown train: " + tokens[1]);
-            }
-            run.train = *train;
-            const auto origin = network.findStation(tokens[3]);
-            if (!origin) {
-                fail(lineNumber, "run references unknown station: " + tokens[3]);
-            }
-            run.origin = *origin;
-            run.departure = Seconds::parse(tokens[5]);
-            std::size_t i = 6;
-            bool sawDestination = false;
-            while (i < tokens.size()) {
-                const std::string& kind = tokens[i];
-                if (kind != "via" && kind != "to") {
-                    fail(lineNumber, "expected 'via' or 'to', got: " + kind);
-                }
-                if (i + 1 >= tokens.size()) {
-                    fail(lineNumber, "missing station after '" + kind + "'");
-                }
-                const auto station = network.findStation(tokens[i + 1]);
-                if (!station) {
-                    fail(lineNumber, "run references unknown station: " + tokens[i + 1]);
-                }
-                TimedStop stop{*station, std::nullopt};
-                i += 2;
-                if (i < tokens.size() && tokens[i] == "arr") {
-                    if (i + 1 >= tokens.size()) {
-                        fail(lineNumber, "missing clock after 'arr'");
-                    }
-                    stop.arrival = Seconds::parse(tokens[i + 1]);
-                    i += 2;
-                }
-                if (i < tokens.size() && tokens[i] == "dwell") {
-                    if (i + 1 >= tokens.size()) {
-                        fail(lineNumber, "missing clock after 'dwell'");
-                    }
-                    stop.dwell = Seconds::parse(tokens[i + 1]);
-                    i += 2;
-                }
-                run.stops.push_back(stop);
-                if (kind == "to") {
-                    sawDestination = true;
-                    break;
-                }
-            }
-            if (!sawDestination || i != tokens.size()) {
-                fail(lineNumber, "run must end with 'to <station> [arr <clock>]'");
-            }
-            scenario.schedule.addRun(std::move(run));
-        } else {
-            fail(lineNumber, "unknown keyword: " + keyword);
-        }
-    }
-    return scenario;
 }
 
 void writeScenario(std::ostream& out, const Scenario& scenario, const Network& network) {

@@ -17,8 +17,18 @@
 ///
 /// Lines starting with '#' are comments. Clock values use the paper's
 /// notation (m:ss or h:mm:ss).
+///
+/// Two parsing modes share one grammar:
+///   * strict (readNetwork/readScenario): throws etcs::InputError on the
+///     first problem; readNetwork additionally validates the network.
+///   * lenient (readNetworkLenient/readScenarioLenient): reports each
+///     problem to a ParseIssueHandler with its lint diagnostic code and
+///     source line, skips the offending line, and keeps parsing. The
+///     result is *not* validated — run the structural linter
+///     (lint/rail_lint.hpp) over it instead.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -35,11 +45,30 @@ struct Scenario {
     Schedule schedule;
 };
 
+/// One recoverable problem found while parsing leniently. `code` is the
+/// lint diagnostic code (L001..L005, see docs/LINTING.md); `line` is the
+/// 1-based source line.
+struct ParseIssue {
+    int line = 0;
+    std::string code;
+    std::string entity;
+    std::string message;
+    std::string hint;
+};
+
+using ParseIssueHandler = std::function<void(const ParseIssue&)>;
+
 [[nodiscard]] Network readNetwork(std::istream& in);
 void writeNetwork(std::ostream& out, const Network& network);
 
 /// Parse a scenario; stations are resolved against `network`.
 [[nodiscard]] Scenario readScenario(std::istream& in, const Network& network);
 void writeScenario(std::ostream& out, const Scenario& scenario, const Network& network);
+
+/// Lenient variants: report problems instead of throwing, skip the
+/// offending lines, and return the (possibly partial, unvalidated) result.
+[[nodiscard]] Network readNetworkLenient(std::istream& in, const ParseIssueHandler& onIssue);
+[[nodiscard]] Scenario readScenarioLenient(std::istream& in, const Network& network,
+                                           const ParseIssueHandler& onIssue);
 
 }  // namespace etcs::rail

@@ -1,0 +1,149 @@
+/// \file cli_test.cpp
+/// End-to-end exit-code and output contracts of the shipped command-line
+/// tools: etcslint, gencnf and dratcheck. Exit code conventions: 0 success
+/// (for etcslint: no error-severity findings), 1 findings / NOT VERIFIED,
+/// 2 usage or I/O error — and never partial output on failure.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef ETCS_ETCSLINT_BIN
+#error "ETCS_ETCSLINT_BIN must point at the etcslint executable"
+#endif
+#ifndef ETCS_GENCNF_BIN
+#error "ETCS_GENCNF_BIN must point at the gencnf executable"
+#endif
+#ifndef ETCS_DRATCHECK_BIN
+#error "ETCS_DRATCHECK_BIN must point at the dratcheck executable"
+#endif
+#ifndef ETCS_DATA_DIR
+#error "ETCS_DATA_DIR must point at the repository's data/ directory"
+#endif
+#ifndef ETCS_FIXTURE_DIR
+#error "ETCS_FIXTURE_DIR must point at tests/fixtures/"
+#endif
+
+namespace {
+
+struct RunResult {
+    int exitCode = -1;
+    std::string output;  ///< combined stdout + stderr
+};
+
+/// Run a command, capturing combined output and the real exit code.
+RunResult run(const std::string& command) {
+    const std::string outFile = testing::TempDir() + "cli_test_output.txt";
+    const int status = std::system((command + " > " + outFile + " 2>&1").c_str());
+    RunResult result;
+    if (WIFEXITED(status)) {
+        result.exitCode = WEXITSTATUS(status);
+    }
+    std::ifstream in(outFile);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    result.output = buffer.str();
+    return result;
+}
+
+const std::string kLint = ETCS_ETCSLINT_BIN;
+const std::string kGencnf = ETCS_GENCNF_BIN;
+const std::string kDratcheck = ETCS_DRATCHECK_BIN;
+const std::string kData = ETCS_DATA_DIR;
+const std::string kFixtures = ETCS_FIXTURE_DIR;
+
+TEST(EtcslintCli, ShippedDataExitsZero) {
+    const auto result =
+        run(kLint + " " + kData + "/quickstart.rail " + kData + "/quickstart.sched");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("clean"), std::string::npos) << result.output;
+}
+
+TEST(EtcslintCli, InfeasibleScheduleExitsOneWithProofMessage) {
+    const auto result = run(kLint + " " + kFixtures + "/corridor.rail " + kFixtures +
+                            "/infeasible.sched");
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("L024"), std::string::npos) << result.output;
+    EXPECT_NE(result.output.find("proven infeasible (no SAT solver required)"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(EtcslintCli, BrokenNetworkExitsOne) {
+    const auto result = run(kLint + " " + kFixtures + "/broken.rail");
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("L005"), std::string::npos) << result.output;
+}
+
+TEST(EtcslintCli, JsonOutputIsEmitted) {
+    const auto result = run(kLint + " --json " + kFixtures + "/broken.rail");
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("\"errors\":true"), std::string::npos) << result.output;
+}
+
+TEST(EtcslintCli, MissingFileExitsTwo) {
+    const auto result = run(kLint + " /nonexistent/net.rail");
+    EXPECT_EQ(result.exitCode, 2) << result.output;
+    EXPECT_NE(result.output.find("error"), std::string::npos) << result.output;
+}
+
+TEST(EtcslintCli, NoArgumentsExitsTwo) {
+    EXPECT_EQ(run(kLint).exitCode, 2);
+}
+
+TEST(EtcslintCli, CodesListsTheCatalogue) {
+    const auto result = run(kLint + " --codes");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("L024"), std::string::npos);
+    EXPECT_NE(result.output.find("C010"), std::string::npos);
+}
+
+TEST(GencnfCli, UnknownStudyExitsTwo) {
+    const auto result = run(kGencnf + " nosuch " + testing::TempDir() + "out.cnf");
+    EXPECT_EQ(result.exitCode, 2) << result.output;
+    EXPECT_NE(result.output.find("unknown study"), std::string::npos) << result.output;
+}
+
+TEST(GencnfCli, UnwritableOutputExitsTwoWithoutPartialFile) {
+    const std::string target = "/nonexistent_dir/out.cnf";
+    const auto result = run(kGencnf + " simple " + target);
+    EXPECT_EQ(result.exitCode, 2) << result.output;
+    EXPECT_NE(result.output.find("error"), std::string::npos) << result.output;
+    EXPECT_FALSE(std::ifstream(target).is_open()) << "no partial output may remain";
+}
+
+TEST(GencnfCli, ValidStudyWritesAFormula) {
+    const std::string target = testing::TempDir() + "cli_test_simple.cnf";
+    const auto result = run(kGencnf + " simple " + target);
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    std::ifstream in(target);
+    ASSERT_TRUE(in.is_open());
+    std::string token;
+    in >> token;
+    EXPECT_TRUE(token == "c" || token == "p") << "DIMACS must start with a header";
+}
+
+TEST(DratcheckCli, MissingFormulaExitsTwo) {
+    const auto result = run(kDratcheck + " /nonexistent/f.cnf /nonexistent/p.drat");
+    EXPECT_EQ(result.exitCode, 2) << result.output;
+    EXPECT_NE(result.output.find("error"), std::string::npos) << result.output;
+}
+
+TEST(DratcheckCli, InvalidDimacsExitsTwo) {
+    // A .rail file is not a DIMACS formula; the reader must reject it
+    // instead of producing a bogus verification verdict.
+    const auto result =
+        run(kDratcheck + " " + kFixtures + "/corridor.rail " + kFixtures + "/corridor.rail");
+    EXPECT_EQ(result.exitCode, 2) << result.output;
+    EXPECT_NE(result.output.find("error"), std::string::npos) << result.output;
+}
+
+TEST(DratcheckCli, UsageErrorExitsTwo) {
+    EXPECT_EQ(run(kDratcheck).exitCode, 2);
+}
+
+}  // namespace

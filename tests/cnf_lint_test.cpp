@@ -1,0 +1,158 @@
+/// \file cnf_lint_test.cpp
+/// CNF linter: each seeded formula defect must produce its exact C0xx code,
+/// the component decomposition must be correct, and the real encoder output
+/// must be free of trivially-UNSAT defects.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cnf/collect.hpp"
+#include "core/encoder.hpp"
+#include "core/instance.hpp"
+#include "core/layout.hpp"
+#include "lint/cnf_lint.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/types.hpp"
+#include "studies/studies.hpp"
+
+namespace etcs {
+namespace {
+
+using lint::CnfLintResult;
+using lint::lintFormula;
+using lint::Severity;
+using sat::CnfFormula;
+using sat::Literal;
+
+Literal pos(int var1Based) { return Literal::positive(var1Based - 1); }
+Literal neg(int var1Based) { return Literal::negative(var1Based - 1); }
+
+TEST(CnfLint, CleanFormulaHasNoFindings) {
+    CnfFormula f;
+    f.numVariables = 2;
+    f.clauses = {{pos(1), pos(2)}, {neg(1), neg(2)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_TRUE(result.report.empty());
+    EXPECT_EQ(result.components.numComponents, 1u);
+}
+
+TEST(CnfLint, TautologyIsC001) {
+    CnfFormula f;
+    f.numVariables = 2;
+    f.clauses = {{pos(1), neg(1), pos(2)}, {neg(2), pos(1)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_EQ(result.report.countOf("C001"), 1u);
+    EXPECT_FALSE(result.report.hasErrors());
+}
+
+TEST(CnfLint, DuplicateLiteralIsC002) {
+    CnfFormula f;
+    f.numVariables = 2;
+    f.clauses = {{pos(1), pos(1), pos(2)}, {neg(1), neg(2)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_EQ(result.report.countOf("C002"), 1u);
+}
+
+TEST(CnfLint, DuplicateClauseIsC003EvenReordered) {
+    CnfFormula f;
+    f.numVariables = 2;
+    f.clauses = {{pos(1), pos(2)}, {pos(2), pos(1)}, {neg(1), neg(2)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_EQ(result.report.countOf("C003"), 1u);
+}
+
+TEST(CnfLint, ContradictoryUnitsAreC004) {
+    CnfFormula f;
+    f.numVariables = 2;
+    f.clauses = {{pos(1)}, {neg(1)}, {pos(2), pos(1)}, {neg(2), pos(1)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_EQ(result.report.countOf("C004"), 1u);
+    EXPECT_TRUE(result.report.hasErrors());
+}
+
+TEST(CnfLint, UnreferencedVariableIsC005) {
+    CnfFormula f;
+    f.numVariables = 3;
+    f.clauses = {{pos(1), pos(2)}, {neg(1), neg(2)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_EQ(result.report.countOf("C005"), 1u);
+}
+
+TEST(CnfLint, PureLiteralIsC006Info) {
+    CnfFormula f;
+    f.numVariables = 2;
+    f.clauses = {{pos(1), pos(2)}, {pos(1), neg(2)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_EQ(result.report.countOf("C006"), 1u);
+    EXPECT_EQ(result.report.count(Severity::Info), 1u);
+}
+
+TEST(CnfLint, EmptyClauseIsC007) {
+    CnfFormula f;
+    f.numVariables = 1;
+    f.clauses = {{}, {pos(1)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_EQ(result.report.countOf("C007"), 1u);
+    EXPECT_TRUE(result.report.hasErrors());
+}
+
+TEST(CnfLint, OutOfRangeLiteralIsC008) {
+    CnfFormula f;
+    f.numVariables = 2;
+    f.clauses = {{pos(1), pos(5)}, {neg(1), pos(2)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_EQ(result.report.countOf("C008"), 1u);
+}
+
+TEST(CnfLint, ComponentDecompositionIsC010) {
+    CnfFormula f;
+    f.numVariables = 5;
+    // Two independent blocks: {1,2,3} and {4,5}.
+    f.clauses = {{pos(1), pos(2)}, {neg(2), pos(3)}, {pos(4), neg(5)}, {neg(4), pos(5)}};
+    const CnfLintResult result = lintFormula(f);
+    EXPECT_EQ(result.components.numComponents, 2u);
+    ASSERT_EQ(result.components.componentVariables.size(), 2u);
+    EXPECT_EQ(result.components.componentVariables[0], 3u);
+    EXPECT_EQ(result.components.componentVariables[1], 2u);
+    EXPECT_EQ(result.report.countOf("C010"), 1u);
+}
+
+TEST(CnfLint, PerCodeCapFoldsOverflowIntoSummary) {
+    CnfFormula f;
+    f.numVariables = 1;
+    for (int i = 0; i < 5; ++i) {
+        f.clauses.push_back({pos(1), pos(1)});  // C002 every time
+    }
+    lint::CnfLintOptions options;
+    options.maxDiagnosticsPerCode = 2;
+    const CnfLintResult result = lintFormula(f, options);
+    // 2 direct findings plus 1 capped-summary line, all carrying C002.
+    EXPECT_EQ(result.report.countOf("C002"), 3u);
+    bool sawSummary = false;
+    for (const auto& d : result.report.diagnostics()) {
+        sawSummary = sawSummary || d.message.find("capped") != std::string::npos;
+    }
+    EXPECT_TRUE(sawSummary);
+}
+
+/// The real encoder must never produce trivially-UNSAT structures on a
+/// feasible instance: no empty clauses, no contradictory units, no literals
+/// beyond the declared variable count.
+TEST(CnfLint, EncoderOutputHasNoTrivialUnsatDefects) {
+    const studies::CaseStudy study = studies::simpleLayout();
+    const core::Instance instance(study.network, study.trains, study.timedSchedule,
+                                  study.resolution);
+    cnf::CollectingBackend backend;
+    core::Encoder encoder(backend, instance);
+    const auto finest = core::VssLayout::finest(instance.graph());
+    encoder.encode(&finest);
+    const CnfLintResult result = lintFormula(backend.formula());
+    EXPECT_FALSE(result.report.has("C004"));
+    EXPECT_FALSE(result.report.has("C007"));
+    EXPECT_FALSE(result.report.has("C008"));
+    EXPECT_GE(result.components.numComponents, 1u);
+}
+
+}  // namespace
+}  // namespace etcs

@@ -1,0 +1,134 @@
+/// \file lint_files_test.cpp
+/// File-level lint regression tests: the shipped data/ instances must lint
+/// clean, the seeded defect fixtures must produce their exact parse codes,
+/// and docs/LINTING.md must document every known diagnostic code.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lint/diagnostics.hpp"
+#include "lint/rail_lint.hpp"
+#include "railway/io.hpp"
+#include "util/units.hpp"
+
+#ifndef ETCS_DATA_DIR
+#error "ETCS_DATA_DIR must point at the repository's data/ directory"
+#endif
+#ifndef ETCS_FIXTURE_DIR
+#error "ETCS_FIXTURE_DIR must point at tests/fixtures/"
+#endif
+#ifndef ETCS_DOCS_DIR
+#error "ETCS_DOCS_DIR must point at the repository's docs/ directory"
+#endif
+
+namespace etcs {
+namespace {
+
+using lint::LintReport;
+
+constexpr Resolution kResolution{Meters(500), Seconds(30)};
+
+std::ifstream openOrFail(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+    return in;
+}
+
+std::string render(const LintReport& report) {
+    std::ostringstream os;
+    report.write(os);
+    return os.str();
+}
+
+void expectScenarioLintsClean(const std::string& railFile, const std::string& schedFile) {
+    auto railIn = openOrFail(std::string(ETCS_DATA_DIR) + "/" + railFile);
+    LintReport report;
+    const rail::Network network = lint::lintNetworkFile(railIn, report);
+    auto schedIn = openOrFail(std::string(ETCS_DATA_DIR) + "/" + schedFile);
+    const rail::Scenario scenario = lint::lintScenarioFile(schedIn, network, report);
+    lint::lintScenario(network, scenario.trains, scenario.schedule, kResolution, report);
+    EXPECT_TRUE(report.empty()) << railFile << " + " << schedFile << " must lint clean:\n"
+                                << render(report);
+}
+
+TEST(ShippedData, QuickstartLintsClean) {
+    expectScenarioLintsClean("quickstart.rail", "quickstart.sched");
+}
+
+TEST(ShippedData, RunningExampleLintsClean) {
+    expectScenarioLintsClean("running_example.rail", "running_example.sched");
+}
+
+TEST(Fixtures, BrokenNetworkProducesEveryParseCode) {
+    auto in = openOrFail(std::string(ETCS_FIXTURE_DIR) + "/broken.rail");
+    LintReport report;
+    (void)lint::lintNetworkFile(in, report);
+    EXPECT_EQ(report.countOf("L001"), 1u) << render(report);  // malformed length
+    EXPECT_EQ(report.countOf("L002"), 1u) << render(report);  // duplicate node
+    EXPECT_EQ(report.countOf("L003"), 1u) << render(report);  // unknown node
+    EXPECT_EQ(report.countOf("L004"), 1u) << render(report);  // zero-length track
+    EXPECT_EQ(report.countOf("L005"), 1u) << render(report);  // offset outside track
+    // Diagnostics carry their 1-based source lines.
+    bool sawLine = false;
+    for (const auto& d : report.diagnostics()) {
+        sawLine = sawLine || d.line > 0;
+    }
+    EXPECT_TRUE(sawLine);
+}
+
+TEST(Fixtures, BrokenNetworkSurvivingPartIsStructurallySound) {
+    auto in = openOrFail(std::string(ETCS_FIXTURE_DIR) + "/broken.rail");
+    LintReport parse;
+    const rail::Network network = lint::lintNetworkFile(in, parse);
+    // The lenient reader skips the five bad lines; what remains (two tracks,
+    // two TTDs) is a valid connected network.
+    LintReport structural;
+    lint::lintNetwork(network, structural);
+    EXPECT_TRUE(structural.empty()) << render(structural);
+}
+
+TEST(Fixtures, BrokenScenarioProducesParseCodes) {
+    auto railIn = openOrFail(std::string(ETCS_FIXTURE_DIR) + "/corridor.rail");
+    LintReport railReport;
+    const rail::Network network = lint::lintNetworkFile(railIn, railReport);
+    EXPECT_TRUE(railReport.empty()) << render(railReport);
+
+    auto in = openOrFail(std::string(ETCS_FIXTURE_DIR) + "/broken.sched");
+    LintReport report;
+    const rail::Scenario scenario = lint::lintScenarioFile(in, network, report);
+    EXPECT_EQ(report.countOf("L002"), 1u) << render(report);  // duplicate train
+    EXPECT_EQ(report.countOf("L004"), 1u) << render(report);  // zero speed
+    EXPECT_GE(report.countOf("L001"), 2u) << render(report);  // malformed int + clock
+    EXPECT_GE(report.countOf("L003"), 2u) << render(report);  // unknown train + station
+    // The surviving run (last line) parsed fine.
+    EXPECT_EQ(scenario.schedule.size(), 1u);
+}
+
+TEST(Fixtures, InfeasibleScheduleIsProvenWithoutSolver) {
+    auto railIn = openOrFail(std::string(ETCS_FIXTURE_DIR) + "/corridor.rail");
+    LintReport report;
+    const rail::Network network = lint::lintNetworkFile(railIn, report);
+    auto schedIn = openOrFail(std::string(ETCS_FIXTURE_DIR) + "/infeasible.sched");
+    const rail::Scenario scenario = lint::lintScenarioFile(schedIn, network, report);
+    lint::lintScenario(network, scenario.trains, scenario.schedule, kResolution, report);
+    EXPECT_TRUE(report.has("L024")) << render(report);
+    EXPECT_TRUE(report.hasErrors());
+}
+
+/// docs/LINTING.md is the user-facing catalogue; every code the analyzers
+/// can emit must have a documented section.
+TEST(Docs, LintingCataloguesEveryKnownCode) {
+    auto in = openOrFail(std::string(ETCS_DOCS_DIR) + "/LINTING.md");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string docs = buffer.str();
+    for (const lint::CodeInfo& info : lint::knownCodes()) {
+        EXPECT_NE(docs.find(std::string("### ") + std::string(info.code)), std::string::npos)
+            << "docs/LINTING.md is missing a '### " << info.code << "' section";
+    }
+}
+
+}  // namespace
+}  // namespace etcs

@@ -1,0 +1,396 @@
+/// \file lint_test.cpp
+/// Instance linter: seeded network/schedule defects must produce their exact
+/// diagnostic codes, the schedule lower bounds must agree with the SAT
+/// solver (soundness), and the tasks must fail fast on lint-rejected
+/// instances without a single solve call.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/instance.hpp"
+#include "core/layout.hpp"
+#include "core/tasks.hpp"
+#include "lint/diagnostics.hpp"
+#include "lint/rail_lint.hpp"
+#include "railway/network.hpp"
+#include "railway/schedule.hpp"
+#include "railway/segment_graph.hpp"
+#include "railway/train.hpp"
+#include "util/units.hpp"
+
+namespace etcs {
+namespace {
+
+using lint::LintReport;
+using lint::Severity;
+
+constexpr Resolution kResolution{Meters(500), Seconds(30)};
+
+/// A three-track corridor: SA --a(1000m)-- --b(1000m)-- --c(1000m)-- SB,
+/// one TTD per track. At r_s=500 that is six segments; SA sits on a[0],
+/// SB on c[1], graph distance 5.
+struct Corridor {
+    rail::Network network{"corridor"};
+    StationId stationA;
+    StationId stationB;
+
+    Corridor() {
+        const NodeId n0 = network.addNode("n0");
+        const NodeId n1 = network.addNode("n1");
+        const NodeId n2 = network.addNode("n2");
+        const NodeId n3 = network.addNode("n3");
+        const TrackId a = network.addTrack("a", n0, n1, Meters(1000));
+        const TrackId b = network.addTrack("b", n1, n2, Meters(1000));
+        const TrackId c = network.addTrack("c", n2, n3, Meters(1000));
+        network.addTtd("T1", {a});
+        network.addTtd("T2", {b});
+        network.addTtd("T3", {c});
+        stationA = network.addStation("SA", a, Meters(0));
+        stationB = network.addStation("SB", c, Meters(1000));
+    }
+};
+
+/// A 120 km/h train advances 1000 m = 2 segments per 30 s step; with 200 m
+/// length it occupies one segment, so SA -> SB needs ceil(5/2) = 3 steps.
+rail::TrainSet oneTrain() {
+    rail::TrainSet trains;
+    trains.addTrain("T", Speed::fromKmPerHour(120.0), Meters(200));
+    return trains;
+}
+
+rail::Schedule runTo(StationId origin, Seconds departure, StationId destination,
+                     std::optional<Seconds> arrival) {
+    rail::Schedule schedule;
+    schedule.addRun(rail::TrainRun{TrainId(0u), origin, departure,
+                                   {rail::TimedStop{destination, arrival, Seconds(0)}}});
+    return schedule;
+}
+
+/// core::Instance keeps references to its inputs, so tests that build one
+/// must own the trains and schedule for as long as the instance lives.
+struct LiveInstance {
+    rail::TrainSet trains = oneTrain();
+    rail::Schedule schedule;
+    core::Instance instance;
+
+    LiveInstance(const Corridor& world, Seconds arrival)
+        : schedule(runTo(world.stationA, Seconds(0), world.stationB, arrival)),
+          instance(world.network, trains, schedule, kResolution) {}
+};
+
+TEST(NetworkLint, CleanCorridorHasNoFindings) {
+    const Corridor world;
+    LintReport report;
+    lint::lintNetwork(world.network, report);
+    EXPECT_TRUE(report.empty()) << [&] {
+        std::ostringstream os;
+        report.write(os);
+        return os.str();
+    }();
+}
+
+TEST(NetworkLint, EmptyNetworkIsL016) {
+    const rail::Network empty("void");
+    LintReport report;
+    lint::lintNetwork(empty, report);
+    EXPECT_TRUE(report.has("L016"));
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(NetworkLint, IsolatedNodeIsL010) {
+    Corridor world;
+    world.network.addNode("nowhere");
+    LintReport report;
+    lint::lintNetwork(world.network, report);
+    EXPECT_EQ(report.countOf("L010"), 1u);
+    EXPECT_FALSE(report.has("L011")) << "isolated nodes must not double-report as L011";
+}
+
+TEST(NetworkLint, DisconnectedComponentIsL011) {
+    Corridor world;
+    const NodeId x = world.network.addNode("x");
+    const NodeId y = world.network.addNode("y");
+    const TrackId island = world.network.addTrack("island", x, y, Meters(700));
+    world.network.addTtd("T4", {island});
+    LintReport report;
+    lint::lintNetwork(world.network, report);
+    EXPECT_EQ(report.countOf("L011"), 1u);
+    EXPECT_FALSE(report.has("L010"));
+}
+
+TEST(NetworkLint, TrackWithoutTtdIsL012) {
+    Corridor world;
+    const NodeId n3 = *world.network.findNode("n3");
+    const NodeId n4 = world.network.addNode("n4");
+    world.network.addTrack("orphan", n3, n4, Meters(400));
+    LintReport report;
+    lint::lintNetwork(world.network, report);
+    EXPECT_EQ(report.countOf("L012"), 1u);
+}
+
+TEST(NetworkLint, ParallelEdgeInOneTtdIsL013) {
+    rail::Network network("loops");
+    const NodeId n0 = network.addNode("n0");
+    const NodeId n1 = network.addNode("n1");
+    const TrackId up = network.addTrack("up", n0, n1, Meters(800));
+    const TrackId down = network.addTrack("down", n1, n0, Meters(800));
+    network.addTtd("both", {up, down});
+    LintReport report;
+    lint::lintNetwork(network, report);
+    EXPECT_EQ(report.countOf("L013"), 1u);
+
+    // The legitimate layout — one TTD per loop side — is clean.
+    rail::Network split("loops");
+    const NodeId m0 = split.addNode("n0");
+    const NodeId m1 = split.addNode("n1");
+    const TrackId u = split.addTrack("up", m0, m1, Meters(800));
+    const TrackId d = split.addTrack("down", m1, m0, Meters(800));
+    split.addTtd("upT", {u});
+    split.addTtd("downT", {d});
+    LintReport splitReport;
+    lint::lintNetwork(split, splitReport);
+    EXPECT_FALSE(splitReport.has("L013"));
+}
+
+TEST(NetworkLint, DegreeAboveThreeIsL014) {
+    rail::Network network("star");
+    const NodeId hub = network.addNode("hub");
+    std::vector<TrackId> tracks;
+    for (int i = 0; i < 4; ++i) {
+        const NodeId leaf = network.addNode("leaf" + std::to_string(i));
+        tracks.push_back(network.addTrack("spoke" + std::to_string(i), hub, leaf, Meters(500)));
+    }
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        network.addTtd("T" + std::to_string(i), {tracks[i]});
+    }
+    LintReport report;
+    lint::lintNetwork(network, report);
+    EXPECT_EQ(report.countOf("L014"), 1u);
+    EXPECT_FALSE(report.hasErrors()) << "degree anomalies are warnings, not errors";
+}
+
+TEST(NetworkLint, NonContiguousTtdIsL015) {
+    // Tracks a and c do not touch, yet share a TTD.
+    rail::Network network("gap");
+    const NodeId n0 = network.addNode("n0");
+    const NodeId n1 = network.addNode("n1");
+    const NodeId n2 = network.addNode("n2");
+    const NodeId n3 = network.addNode("n3");
+    const TrackId a = network.addTrack("a", n0, n1, Meters(1000));
+    const TrackId b = network.addTrack("b", n1, n2, Meters(1000));
+    const TrackId c = network.addTrack("c", n2, n3, Meters(1000));
+    network.addTtd("outer", {a, c});
+    network.addTtd("inner", {b});
+    LintReport report;
+    lint::lintNetwork(network, report);
+    EXPECT_EQ(report.countOf("L015"), 1u);
+}
+
+TEST(ScheduleLint, FeasibleRunIsClean) {
+    const Corridor world;
+    const rail::SegmentGraph graph(world.network, kResolution);
+    const auto schedule =
+        runTo(world.stationA, Seconds(0), world.stationB, Seconds(3 * 30));
+    LintReport report;
+    lint::lintSchedule(graph, oneTrain(), schedule, report);
+    EXPECT_TRUE(report.empty());
+}
+
+TEST(ScheduleLint, SpeedRoundingToZeroIsL020) {
+    const Corridor world;
+    const rail::SegmentGraph graph(world.network, kResolution);
+    rail::TrainSet slow;
+    slow.addTrain("snail", Speed::fromKmPerHour(1.0), Meters(100));
+    const auto schedule =
+        runTo(world.stationA, Seconds(0), world.stationB, Seconds(600));
+    LintReport report;
+    lint::lintSchedule(graph, slow, schedule, report);
+    EXPECT_TRUE(report.has("L020"));
+}
+
+TEST(ScheduleLint, ArrivalBeforePreviousStopIsL022) {
+    const Corridor world;
+    const rail::SegmentGraph graph(world.network, kResolution);
+    const auto schedule =
+        runTo(world.stationA, Seconds(120), world.stationB, Seconds(30));
+    LintReport report;
+    lint::lintSchedule(graph, oneTrain(), schedule, report);
+    EXPECT_TRUE(report.has("L022"));
+}
+
+TEST(ScheduleLint, DepartureAfterHorizonIsL023) {
+    const Corridor world;
+    const rail::SegmentGraph graph(world.network, kResolution);
+    auto schedule = runTo(world.stationA, Seconds(600), world.stationB, std::nullopt);
+    schedule.setHorizon(Seconds(120));
+    LintReport report;
+    lint::lintSchedule(graph, oneTrain(), schedule, report);
+    EXPECT_TRUE(report.has("L023"));
+}
+
+TEST(ScheduleLint, DeadlineBelowShortestPathBoundIsL024) {
+    const Corridor world;
+    const rail::SegmentGraph graph(world.network, kResolution);
+    // SA -> SB needs 3 steps; pinning the arrival at step 2 is provably
+    // impossible.
+    const auto schedule =
+        runTo(world.stationA, Seconds(0), world.stationB, Seconds(2 * 30));
+    LintReport report;
+    lint::lintSchedule(graph, oneTrain(), schedule, report);
+    ASSERT_TRUE(report.has("L024"));
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(ScheduleLint, OpenStopBeyondHorizonIsL025) {
+    const Corridor world;
+    const rail::SegmentGraph graph(world.network, kResolution);
+    auto schedule = runTo(world.stationA, Seconds(0), world.stationB, std::nullopt);
+    schedule.setHorizon(Seconds(60));  // 3 steps, but the run needs step 3
+    LintReport report;
+    lint::lintSchedule(graph, oneTrain(), schedule, report);
+    EXPECT_TRUE(report.has("L025"));
+}
+
+TEST(ScheduleLint, SharedOriginPinIsL026) {
+    const Corridor world;
+    const rail::SegmentGraph graph(world.network, kResolution);
+    rail::TrainSet trains;
+    trains.addTrain("T1", Speed::fromKmPerHour(120.0), Meters(200));
+    trains.addTrain("T2", Speed::fromKmPerHour(120.0), Meters(200));
+    rail::Schedule schedule;
+    schedule.addRun(rail::TrainRun{
+        TrainId(0u), world.stationA, Seconds(0),
+        {rail::TimedStop{world.stationB, Seconds(3 * 30), Seconds(0)}}});
+    schedule.addRun(rail::TrainRun{
+        TrainId(1u), world.stationA, Seconds(0),
+        {rail::TimedStop{world.stationB, Seconds(5 * 30), Seconds(0)}}});
+    LintReport report;
+    lint::lintSchedule(graph, trains, schedule, report);
+    EXPECT_TRUE(report.has("L026"));
+}
+
+TEST(ScheduleLint, TwoRunsPerTrainIsL027) {
+    const Corridor world;
+    const rail::SegmentGraph graph(world.network, kResolution);
+    rail::Schedule schedule;
+    schedule.addRun(rail::TrainRun{
+        TrainId(0u), world.stationA, Seconds(0),
+        {rail::TimedStop{world.stationB, Seconds(3 * 30), Seconds(0)}}});
+    schedule.addRun(rail::TrainRun{
+        TrainId(0u), world.stationB, Seconds(300),
+        {rail::TimedStop{world.stationA, Seconds(600), Seconds(0)}}});
+    LintReport report;
+    lint::lintSchedule(graph, oneTrain(), schedule, report);
+    EXPECT_EQ(report.countOf("L027"), 1u);
+}
+
+TEST(ScheduleLint, ScenarioWrapperStopsAtStructuralErrors) {
+    Corridor world;
+    world.network.addNode("nowhere");  // structural error L010
+    LintReport report;
+    lint::lintScenario(world.network, oneTrain(),
+                       runTo(world.stationA, Seconds(0), world.stationB, Seconds(90)),
+                       kResolution, report);
+    EXPECT_TRUE(report.has("L010"));
+    EXPECT_FALSE(report.has("L024"));
+}
+
+/// Soundness: the L024 lower bound must agree with the SAT solver. The
+/// linter claims step 3 is the earliest arrival — so arrival at step 2 must
+/// be UNSAT and arrival at step 3 must be SAT, on the finest layout.
+TEST(LintSoundness, ShortestPathBoundMatchesSolver) {
+    const Corridor world;
+    core::TaskOptions noLint;
+    noLint.lintInstance = false;
+
+    const LiveInstance tight(world, Seconds(2 * 30));
+    const auto tightLayout = core::VssLayout::finest(tight.instance.graph());
+    const auto tightResult = core::verifySchedule(tight.instance, tightLayout, noLint);
+    EXPECT_FALSE(tightResult.feasible) << "lint claims UNSAT; the solver must agree";
+    EXPECT_GE(tightResult.stats.solveCalls, 1u);
+
+    const LiveInstance exact(world, Seconds(3 * 30));
+    const auto exactLayout = core::VssLayout::finest(exact.instance.graph());
+    LintReport report;
+    lint::lintSchedule(exact.instance.graph(), exact.instance.trains(),
+                       exact.instance.schedule(), report);
+    EXPECT_FALSE(report.hasErrors()) << [&] {
+        std::ostringstream os;
+        os << "the bound itself must lint clean:\n";
+        report.write(os);
+        return os.str();
+    }();
+    const auto exactResult = core::verifySchedule(exact.instance, exactLayout, noLint);
+    EXPECT_TRUE(exactResult.feasible) << "one step later must be achievable";
+}
+
+TEST(TaskLintGate, VerifyFailsFastWithoutSolveCalls) {
+    const Corridor world;
+    const LiveInstance infeasible(world, Seconds(2 * 30));
+    const auto layout = core::VssLayout::finest(infeasible.instance.graph());
+
+    const auto gated = core::verifySchedule(infeasible.instance, layout);
+    EXPECT_FALSE(gated.feasible);
+    EXPECT_EQ(gated.stats.solveCalls, 0u) << "lint must reject before any solve";
+    EXPECT_EQ(gated.stats.numVariables, 0);
+
+    const auto generation = core::generateLayout(infeasible.instance);
+    EXPECT_FALSE(generation.feasible);
+    EXPECT_EQ(generation.stats.solveCalls, 0u);
+}
+
+TEST(TaskLintGate, OptOutStillSolves) {
+    const Corridor world;
+    const LiveInstance infeasible(world, Seconds(2 * 30));
+    const auto layout = core::VssLayout::finest(infeasible.instance.graph());
+    core::TaskOptions noLint;
+    noLint.lintInstance = false;
+    const auto result = core::verifySchedule(infeasible.instance, layout, noLint);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_GE(result.stats.solveCalls, 1u);
+}
+
+TEST(TaskLintGate, FeasibleInstancePassesTheGate) {
+    const Corridor world;
+    const LiveInstance fine(world, Seconds(3 * 30));
+    const auto layout = core::VssLayout::finest(fine.instance.graph());
+    const auto result = core::verifySchedule(fine.instance, layout);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_GE(result.stats.solveCalls, 1u);
+}
+
+TEST(Diagnostics, ReportCountsAndRendering) {
+    LintReport report;
+    report.add({"L024", Severity::Error, "train T", "unreachable deadline",
+                "move the arrival", 7});
+    report.add({"L013", Severity::Warning, "track up", "duplicate parallel edge", "", 0});
+    EXPECT_EQ(report.size(), 2u);
+    EXPECT_EQ(report.count(Severity::Error), 1u);
+    EXPECT_EQ(report.count(Severity::Warning), 1u);
+    EXPECT_TRUE(report.hasErrors());
+
+    std::ostringstream text;
+    report.write(text, "demo.sched");
+    EXPECT_NE(text.str().find("demo.sched:7: error L024 [train T]"), std::string::npos)
+        << text.str();
+    EXPECT_NE(text.str().find("(fix: move the arrival)"), std::string::npos);
+
+    std::ostringstream json;
+    report.writeJson(json);
+    EXPECT_NE(json.str().find("\"errors\":1"), std::string::npos) << json.str();
+    EXPECT_NE(json.str().find("\"code\":\"L024\""), std::string::npos);
+}
+
+TEST(Diagnostics, MergeAccumulates) {
+    LintReport a;
+    a.add({"L010", Severity::Error, "node x", "isolated", "", 0});
+    LintReport b;
+    b.add({"L013", Severity::Warning, "track t", "duplicate", "", 0});
+    a.merge(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_TRUE(a.has("L013"));
+    EXPECT_EQ(a.count(Severity::Warning), 1u);
+}
+
+}  // namespace
+}  // namespace etcs

@@ -1,0 +1,228 @@
+/// \file etcslint.cpp
+/// Static analysis front-end for layouts, schedules and encodings.
+///
+/// Usage: etcslint [options] <network.rail> [scenario.sched] [formula.cnf|.dimacs]
+///
+/// Runs the instance linter (structural network checks, schedule feasibility
+/// lower bounds) over the given files and, when a DIMACS file is present, the
+/// CNF linter over the formula. Error-severity schedule findings are proofs
+/// of unsatisfiability: the tool reports "schedule proven infeasible" without
+/// ever invoking a SAT solver. See docs/LINTING.md for the code catalogue.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lint/cnf_lint.hpp"
+#include "lint/diagnostics.hpp"
+#include "lint/rail_lint.hpp"
+#include "sat/dimacs.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using etcs::lint::LintReport;
+
+void printUsage(std::ostream& os) {
+    os << "usage: etcslint [options] <network.rail> [scenario.sched] [formula.cnf]\n"
+          "  --rs <meters>    spatial resolution r_s for discretization (default 500)\n"
+          "  --rt <seconds>   temporal resolution r_t for discretization (default 30)\n"
+          "  --json           machine-readable JSON report instead of text\n"
+          "  --codes          list every diagnostic code and exit\n"
+          "  -h, --help       show this help\n"
+          "Files are classified by extension: .rail network, .sched scenario,\n"
+          ".cnf/.dimacs DIMACS formula. Exit code 0 when clean (warnings allowed),\n"
+          "1 when any error-severity diagnostic was found, 2 on usage/IO errors.\n";
+}
+
+[[nodiscard]] bool endsWith(const std::string& s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+[[nodiscard]] std::optional<long> parseLong(const std::string& text) {
+    try {
+        std::size_t pos = 0;
+        const long value = std::stol(text, &pos);
+        if (pos != text.size()) {
+            return std::nullopt;
+        }
+        return value;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    long spatialMeters = 500;
+    long temporalSeconds = 30;
+    bool json = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            printUsage(std::cout);
+            return 0;
+        }
+        if (arg == "--codes") {
+            for (const etcs::lint::CodeInfo& info : etcs::lint::knownCodes()) {
+                std::cout << info.code << "  " << etcs::lint::severityName(info.severity)
+                          << "  " << info.summary << "\n";
+            }
+            return 0;
+        }
+        if (arg == "--json") {
+            json = true;
+            continue;
+        }
+        if (arg == "--rs" || arg == "--rt") {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << arg << " needs a value\n";
+                return 2;
+            }
+            const auto value = parseLong(argv[++i]);
+            if (!value || *value <= 0) {
+                std::cerr << "error: " << arg << " needs a positive integer, got '"
+                          << argv[i] << "'\n";
+                return 2;
+            }
+            (arg == "--rs" ? spatialMeters : temporalSeconds) = *value;
+            continue;
+        }
+        if (!arg.empty() && arg.front() == '-') {
+            std::cerr << "error: unknown option '" << arg << "'\n";
+            printUsage(std::cerr);
+            return 2;
+        }
+        files.push_back(arg);
+    }
+    if (files.empty()) {
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    std::string networkFile;
+    std::string scenarioFile;
+    std::string cnfFile;
+    for (const std::string& file : files) {
+        std::string* slot = nullptr;
+        if (endsWith(file, ".rail")) {
+            slot = &networkFile;
+        } else if (endsWith(file, ".sched")) {
+            slot = &scenarioFile;
+        } else if (endsWith(file, ".cnf") || endsWith(file, ".dimacs")) {
+            slot = &cnfFile;
+        } else {
+            std::cerr << "error: cannot classify '" << file
+                      << "' (expected .rail, .sched, .cnf or .dimacs)\n";
+            return 2;
+        }
+        if (!slot->empty()) {
+            std::cerr << "error: more than one " << file.substr(file.rfind('.'))
+                      << " file given\n";
+            return 2;
+        }
+        *slot = file;
+    }
+    if (networkFile.empty() && !scenarioFile.empty()) {
+        std::cerr << "error: a scenario needs its network (.rail) file\n";
+        return 2;
+    }
+
+    const etcs::Resolution resolution{etcs::Meters(spatialMeters),
+                                      etcs::Seconds(temporalSeconds)};
+    bool provenInfeasible = false;
+    bool anyErrors = false;
+    bool first = true;
+    if (json) {
+        std::cout << "{\"reports\":[";
+    }
+    auto show = [&](const std::string& file, const LintReport& report) {
+        anyErrors = anyErrors || report.hasErrors();
+        if (json) {
+            if (!first) {
+                std::cout << ",";
+            }
+            std::cout << "{\"file\":\"" << file << "\",\"report\":";
+            report.writeJson(std::cout);
+            std::cout << "}";
+        } else {
+            report.write(std::cout, file);
+        }
+        first = false;
+    };
+
+    try {
+        std::optional<etcs::rail::Network> network;
+        if (!networkFile.empty()) {
+            std::ifstream in(networkFile);
+            if (!in) {
+                std::cerr << "error: cannot open " << networkFile << "\n";
+                return 2;
+            }
+            LintReport report;
+            network = etcs::lint::lintNetworkFile(in, report);
+            if (scenarioFile.empty()) {
+                etcs::lint::lintNetwork(*network, report);
+            }
+            show(networkFile, report);
+        }
+        if (!scenarioFile.empty()) {
+            std::ifstream in(scenarioFile);
+            if (!in) {
+                if (json) {
+                    std::cout << "]}\n";
+                }
+                std::cerr << "error: cannot open " << scenarioFile << "\n";
+                return 2;
+            }
+            LintReport report;
+            const etcs::rail::Scenario scenario =
+                etcs::lint::lintScenarioFile(in, *network, report);
+            etcs::lint::lintScenario(*network, scenario.trains, scenario.schedule,
+                                     resolution, report);
+            for (const char* code : {"L020", "L021", "L022", "L023", "L024", "L025",
+                                     "L026", "L027"}) {
+                provenInfeasible = provenInfeasible || report.has(code);
+            }
+            show(scenarioFile, report);
+        }
+        if (!cnfFile.empty()) {
+            std::ifstream in(cnfFile);
+            if (!in) {
+                if (json) {
+                    std::cout << "]}\n";
+                }
+                std::cerr << "error: cannot open " << cnfFile << "\n";
+                return 2;
+            }
+            const etcs::sat::CnfFormula formula = etcs::sat::readDimacs(in);
+            const etcs::lint::CnfLintResult result = etcs::lint::lintFormula(formula);
+            show(cnfFile, result.report);
+        }
+    } catch (const std::exception& e) {
+        if (json) {
+            std::cout << "]}\n";
+        }
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    if (json) {
+        std::cout << "],\"errors\":" << (anyErrors ? "true" : "false")
+                  << ",\"proven_infeasible\":" << (provenInfeasible ? "true" : "false")
+                  << "}\n";
+    } else {
+        if (provenInfeasible) {
+            std::cout << "schedule proven infeasible (no SAT solver required)\n";
+        }
+        if (!anyErrors) {
+            std::cout << "clean: no error-severity findings\n";
+        }
+    }
+    return anyErrors ? 1 : 0;
+}

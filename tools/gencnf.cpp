@@ -7,6 +7,7 @@
 /// With --unsat, additionally pins "all trains done" one step before the
 /// completion lower bound, which makes the formula unsatisfiable — the
 /// resulting (formula, proof) pairs exercise the proof pipeline in CI.
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -80,6 +81,14 @@ int main(int argc, char** argv) {
         }
         const etcs::sat::CnfFormula formula = backend.formula();
         etcs::sat::writeDimacs(out, formula);
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(positional[1].c_str());
+            std::cerr << "error: writing " << positional[1]
+                      << " failed; partial output removed\n";
+            return 2;
+        }
         std::cout << "c " << study.name << (unsat ? " (UNSAT pin)" : "") << ": "
                   << formula.numVariables << " vars, " << formula.clauses.size()
                   << " clauses -> " << positional[1] << "\n";
