@@ -113,6 +113,55 @@ void resolutionScaling() {
     std::cout << "\n";
 }
 
+void portfolioScaling() {
+    std::cout << "S1d: portfolio thread scaling (generation task, racing mode;\n"
+                 "     speedup = runtime(threads=1) / runtime(threads=N))\n\n"
+              << std::right << std::setw(24) << "instance" << std::setw(9) << "threads"
+              << std::setw(6) << "sat" << std::setw(12) << "runtime[s]" << std::setw(9)
+              << "speedup" << "\n";
+    // The portfolio pays off on instances that make the default configuration
+    // struggle (dense traffic, long blocks): there a diversified worker or the
+    // shared short clauses crack the instance first. Easy instances (the s4_t6
+    // row) show the time-slicing tax instead — see docs/PARALLEL.md.
+    const struct {
+        const char* name;
+        int stations;
+        int trains;
+        double spacingKm;
+    } instances[] = {{"corridor_s4_t6", 4, 6, 2.0},
+                     {"corridor_s3_t6_sp25", 3, 6, 2.5},
+                     {"corridor_s2_t7", 2, 7, 2.0}};
+    auto& registry = obs::Registry::global();
+    for (const auto& spec : instances) {
+        const auto study = studies::corridor(spec.stations, spec.trains,
+                                             Meters::fromKilometers(spec.spacingKm),
+                                             Resolution{Meters(500), Seconds(60)});
+        const core::Instance instance(study.network, study.trains, study.timedSchedule,
+                                      study.resolution);
+        double baseline = 0.0;
+        for (const int threads : {1, 2, 4}) {
+            core::TaskOptions options;
+            options.threads = threads;
+            const auto result = core::generateLayout(instance, options);
+            const std::string point =
+                std::string(spec.name) + ".threads_" + std::to_string(threads);
+            recordPoint("portfolio", point, instance, result);
+            if (threads == 1) {
+                baseline = result.stats.runtimeSeconds;
+            }
+            const double speedup = result.stats.runtimeSeconds > 0.0
+                                       ? baseline / result.stats.runtimeSeconds
+                                       : 0.0;
+            registry.gauge("scaling.portfolio." + point + ".speedup").set(speedup);
+            std::cout << std::setw(24) << spec.name << std::setw(9) << threads
+                      << std::setw(6) << (result.feasible ? "yes" : "no") << std::setw(12)
+                      << std::fixed << std::setprecision(3) << result.stats.runtimeSeconds
+                      << std::setw(9) << std::setprecision(2) << speedup << "\n";
+        }
+    }
+    std::cout << "\n";
+}
+
 }  // namespace
 
 int main() {
@@ -120,6 +169,7 @@ int main() {
     corridorScaling();
     trainScaling();
     resolutionScaling();
+    portfolioScaling();
     const char* metricsFile = "BENCH_scaling.json";
     if (obs::Registry::global().writeJsonFile(metricsFile)) {
         std::cout << "metrics written to " << metricsFile << "\n";

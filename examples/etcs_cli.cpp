@@ -13,10 +13,12 @@
 ///
 /// Exit code: 0 = task solved (verification feasible / layout found),
 ///            1 = proven infeasible, 2 = usage or input error.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <string>
 
 #include "cnf/collect.hpp"
 #include "core/encoder.hpp"
@@ -38,12 +40,13 @@ struct CliOptions {
     std::optional<std::string> dotFile;
     std::optional<std::string> cnfFile;
     bool pureLayout = false;
+    int threads = 1;
 };
 
 void usage() {
     std::cerr << "usage: etcs_cli <verify|generate|optimize|encode> <network.rail> "
                  "<scenario.sched> --rs <meters> --rt <seconds> [--dot <file>] "
-                 "[--cnf <file>] [--pure]\n";
+                 "[--cnf <file>] [--pure] [--threads <n>]\n";
 }
 
 std::optional<CliOptions> parseArguments(int argc, char** argv) {
@@ -70,6 +73,12 @@ std::optional<CliOptions> parseArguments(int argc, char** argv) {
             options.dotFile = argv[i + 1];
         } else if (std::strcmp(argv[i], "--cnf") == 0) {
             options.cnfFile = argv[i + 1];
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            options.threads = std::atoi(argv[i + 1]);
+            if (options.threads < 0) {
+                std::cerr << "error: --threads expects a count >= 0\n";
+                return std::nullopt;
+            }
         } else {
             return std::nullopt;
         }
@@ -143,9 +152,16 @@ int main(int argc, char** argv) {
                       << " layout)\n";
             return 0;
         }
+        core::TaskOptions taskOptions;
+        taskOptions.threads = options->threads;
+        if (options->threads != 1) {
+            std::cout << "solver: portfolio with "
+                      << (options->threads == 0 ? "auto" : std::to_string(options->threads))
+                      << " workers\n";
+        }
         if (options->command == "verify") {
             const core::VssLayout pure(instance.graph());
-            const auto result = core::verifySchedule(instance, pure);
+            const auto result = core::verifySchedule(instance, pure, taskOptions);
             std::cout << "verification on the pure TTD layout ("
                       << pure.sectionCount(instance.graph()) << " sections): "
                       << (result.feasible ? "FEASIBLE" : "INFEASIBLE") << " ["
@@ -154,7 +170,7 @@ int main(int argc, char** argv) {
             return result.feasible ? 0 : 1;
         }
         if (options->command == "generate") {
-            const auto result = core::generateLayout(instance);
+            const auto result = core::generateLayout(instance, taskOptions);
             if (!result.feasible) {
                 std::cout << "no VSS layout can realize this schedule\n";
                 return 1;
@@ -167,7 +183,7 @@ int main(int argc, char** argv) {
             return 0;
         }
         // optimize
-        const auto result = core::optimizeSchedule(instance);
+        const auto result = core::optimizeSchedule(instance, taskOptions);
         if (!result.feasible) {
             std::cout << "the trains cannot complete within the scenario horizon\n";
             return 1;

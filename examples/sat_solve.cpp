@@ -3,6 +3,7 @@
 /// exercising the SAT substrate on standard benchmark files.
 ///
 ///   sat_solve [--preprocess] [--no-restarts] [--stats]
+///             [--threads N [--deterministic]]
 ///             [--proof FILE [--binary-proof]] [file.cnf]
 ///
 /// Reads DIMACS CNF from the file (or stdin), prints the SAT-competition
@@ -10,15 +11,24 @@
 /// "s UNSATISFIABLE"). Exit code: 10 = SAT, 20 = UNSAT (competition
 /// convention), 2 = input error.
 ///
+/// With --threads N (N != 1), the parallel portfolio solver races N
+/// diversified CDCL workers with clause sharing (N = 0 picks the hardware
+/// concurrency); --deterministic selects its reproducible lock-step mode.
+/// See docs/PARALLEL.md.
+///
 /// With --proof FILE, every preprocessing step and solver inference is
 /// logged as a DRAT proof (text by default, binary with --binary-proof);
 /// on UNSAT the file can be validated with `dratcheck file.cnf FILE`.
+/// Portfolio proofs are winner-only (clause sharing is disabled while a
+/// proof is attached).
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "sat/dimacs.hpp"
+#include "sat/portfolio.hpp"
 #include "sat/preprocess.hpp"
 #include "sat/proof.hpp"
 #include "sat/solver.hpp"
@@ -30,6 +40,8 @@ int main(int argc, char** argv) {
     bool noRestarts = false;
     bool printStats = false;
     bool binaryProof = false;
+    bool deterministic = false;
+    int threads = 1;
     const char* proofPath = nullptr;
     const char* path = nullptr;
     for (int i = 1; i < argc; ++i) {
@@ -41,10 +53,19 @@ int main(int argc, char** argv) {
             printStats = true;
         } else if (std::strcmp(argv[i], "--binary-proof") == 0) {
             binaryProof = true;
+        } else if (std::strcmp(argv[i], "--deterministic") == 0) {
+            deterministic = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+            if (threads < 0) {
+                std::cerr << "c --threads expects a count >= 0\n";
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--proof") == 0 && i + 1 < argc) {
             proofPath = argv[++i];
         } else if (argv[i][0] == '-') {
             std::cerr << "usage: sat_solve [--preprocess] [--no-restarts] [--stats] "
+                         "[--threads N [--deterministic]] "
                          "[--proof FILE [--binary-proof]] [file.cnf]\n";
             return 2;
         } else {
@@ -102,26 +123,52 @@ int main(int argc, char** argv) {
             fixed.insert(fixed.end(), pre.pureLiterals.begin(), pre.pureLiterals.end());
         }
 
+        std::unique_ptr<PortfolioSolver> portfolio;
         Solver solver;
-        solver.options().useRestarts = !noRestarts;
-        solver.setProofWriter(proof.get());
-        for (int v = 0; v < formula.numVariables; ++v) {
-            solver.addVariable();
+        SolveStatus status = SolveStatus::Unknown;
+        if (threads != 1) {
+            PortfolioOptions popts;
+            popts.numThreads = threads;
+            popts.deterministic = deterministic;
+            portfolio = std::make_unique<PortfolioSolver>(popts);
+            portfolio->setProofWriter(proof.get());
+            for (int v = 0; v < formula.numVariables; ++v) {
+                portfolio->addVariable();
+            }
+            for (const auto& clause : formula.clauses) {
+                portfolio->addClause(clause);
+            }
+            std::cout << "c portfolio: " << portfolio->numThreads() << " workers"
+                      << (deterministic ? ", deterministic" : "") << "\n";
+            status = portfolio->solve();
+            std::cout << "c portfolio winner: worker " << portfolio->lastWinner()
+                      << "\n";
+        } else {
+            solver.options().useRestarts = !noRestarts;
+            solver.setProofWriter(proof.get());
+            for (int v = 0; v < formula.numVariables; ++v) {
+                solver.addVariable();
+            }
+            for (const auto& clause : formula.clauses) {
+                solver.addClause(clause);
+            }
+            status = solver.solve();
         }
-        for (const auto& clause : formula.clauses) {
-            solver.addClause(clause);
-        }
-
-        const SolveStatus status = solver.solve();
         if (proof) {
             proof->flush();
         }
         if (printStats) {
-            const auto& stats = solver.stats();
+            const auto& stats = portfolio ? portfolio->solverStats() : solver.stats();
             std::cout << "c decisions " << stats.decisions << ", conflicts "
                       << stats.conflicts << ", propagations " << stats.propagations
                       << ", restarts " << stats.restarts << ", learned "
                       << stats.learnedClauses << "\n";
+            if (portfolio) {
+                const auto& shared = portfolio->stats();
+                std::cout << "c sharing: exported " << shared.exportedClauses
+                          << ", imported " << shared.importedClauses << ", dropped "
+                          << shared.droppedClauses << "\n";
+            }
         }
         if (status == SolveStatus::Unsat) {
             std::cout << "s UNSATISFIABLE\n";
@@ -132,7 +179,8 @@ int main(int argc, char** argv) {
         // formula's (possibly unconstrained) values.
         std::vector<Value> model(static_cast<std::size_t>(formula.numVariables));
         for (Var v = 0; v < formula.numVariables; ++v) {
-            model[static_cast<std::size_t>(v)] = solver.modelValue(v);
+            model[static_cast<std::size_t>(v)] =
+                portfolio ? portfolio->modelValue(v) : solver.modelValue(v);
         }
         for (Literal l : fixed) {
             model[static_cast<std::size_t>(l.var())] = l.sign() ? Value::False : Value::True;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sat/portfolio.hpp"
 #include "sat/types.hpp"
 
 namespace etcs::sat {
@@ -87,6 +88,17 @@ public:
 
 /// Create the built-in CDCL backend.
 [[nodiscard]] std::unique_ptr<SatBackend> makeInternalBackend();
+
+/// Create the parallel portfolio backend (see sat/portfolio.hpp and
+/// docs/PARALLEL.md): `threads` diversified CDCL workers with clause sharing
+/// and first-winner cancellation. threads <= 0 picks the hardware
+/// concurrency; `deterministic` selects the reproducible lock-step mode.
+[[nodiscard]] std::unique_ptr<SatBackend> makePortfolioBackend(int threads,
+                                                               bool deterministic = false);
+
+/// Portfolio backend with full control over the portfolio policy.
+[[nodiscard]] std::unique_ptr<SatBackend> makePortfolioBackend(
+    sat::PortfolioOptions options);
 
 #ifdef ETCS_HAVE_Z3
 /// Create the Z3 cross-check backend (only compiled when libz3 is found).

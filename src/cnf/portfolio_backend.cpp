@@ -1,0 +1,157 @@
+#include "cnf/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sat/portfolio.hpp"
+
+#include <chrono>
+#include <string>
+
+namespace etcs::cnf {
+
+namespace {
+
+/// SatBackend implementation on top of the parallel portfolio solver.
+/// Observability: every solve is wrapped in a "sat.portfolio.solve" span,
+/// each worker's participation in a "sat.portfolio.worker" span on its own
+/// thread (the Chrome trace tid separates the tracks), and the
+/// etcs.sat.portfolio.* metrics described in docs/OBSERVABILITY.md are
+/// updated per solve.
+class PortfolioBackend final : public SatBackend {
+public:
+    explicit PortfolioBackend(sat::PortfolioOptions options)
+        : solver_([&options]() {
+              options.onWorkerStart = [](int worker) {
+                  if (obs::tracingEnabled()) {
+                      obs::Tracer::begin("sat.portfolio.worker",
+                                         "{\"worker\":" + std::to_string(worker) + "}");
+                  }
+              };
+              options.onWorkerFinish = [](int worker, SolveStatus status,
+                                          const sat::SolverStats& stats) {
+                  if (obs::tracingEnabled()) {
+                      obs::Tracer::counterValue(
+                          ("sat.portfolio.worker" + std::to_string(worker) + ".conflicts")
+                              .c_str(),
+                          static_cast<double>(stats.conflicts));
+                      obs::Tracer::end("sat.portfolio.worker");
+                  }
+                  (void)status;
+              };
+              return options;
+          }()) {}
+
+    Var addVariable() override { return solver_.addVariable(); }
+    int numVariables() const override { return solver_.numVariables(); }
+    std::size_t numClauses() const override { return solver_.numClauses(); }
+
+    void addClause(std::span<const Literal> literals) override {
+        solver_.addClause(literals);
+    }
+
+    SolveStatus solve(std::span<const Literal> assumptions) override {
+        const obs::Span span("sat.portfolio.solve");
+        const sat::SolverStats before = solver_.solverStats();
+        const sat::PortfolioStats sharingBefore = solver_.stats();
+        const auto start = std::chrono::steady_clock::now();
+        const SolveStatus status = solver_.solve(assumptions);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+        recordSolveMetrics(before, sharingBefore, seconds, status);
+        return status;
+    }
+
+    bool modelValue(Literal l) const override {
+        return solver_.modelValue(l) == sat::Value::True;
+    }
+
+    std::vector<Literal> conflictCore() const override { return solver_.conflictCore(); }
+
+    const sat::SolverStats& stats() const override { return solver_.solverStats(); }
+
+    bool setProgressCallback(sat::ProgressCallback callback,
+                             std::uint64_t everyConflicts) override {
+        solver_.options().onProgress = std::move(callback);
+        solver_.options().progressInterval = std::max<std::uint64_t>(everyConflicts, 1);
+        return true;
+    }
+
+    bool setProofWriter(sat::ProofWriter* proof) override {
+        solver_.setProofWriter(proof);
+        return true;
+    }
+
+    std::string name() const override {
+        return "portfolio-cdcl(" + std::to_string(solver_.numThreads()) +
+               (solver_.options().deterministic ? ",deterministic)" : ")");
+    }
+
+    [[nodiscard]] const sat::PortfolioSolver& portfolio() const noexcept {
+        return solver_;
+    }
+
+private:
+    void recordSolveMetrics(const sat::SolverStats& before,
+                            const sat::PortfolioStats& sharingBefore, double seconds,
+                            SolveStatus status) {
+        const sat::SolverStats& after = solver_.solverStats();
+        const sat::PortfolioStats& sharing = solver_.stats();
+        auto& registry = obs::Registry::global();
+        registry.counter("etcs.sat.solves").increment();
+        registry.counter("etcs.sat.conflicts").add(after.conflicts - before.conflicts);
+        registry.counter("etcs.sat.propagations")
+            .add(after.propagations - before.propagations);
+        registry.counter("etcs.sat.decisions").add(after.decisions - before.decisions);
+        registry.counter("etcs.sat.restarts").add(after.restarts - before.restarts);
+        registry.histogram("etcs.sat.solve_seconds").observe(seconds);
+
+        registry.counter("etcs.sat.portfolio.solves").increment();
+        registry.counter("etcs.sat.portfolio.exported")
+            .add(sharing.exportedClauses - sharingBefore.exportedClauses);
+        registry.counter("etcs.sat.portfolio.imported")
+            .add(sharing.importedClauses - sharingBefore.importedClauses);
+        registry.counter("etcs.sat.portfolio.dropped")
+            .add(sharing.droppedClauses - sharingBefore.droppedClauses);
+        registry.gauge("etcs.sat.portfolio.threads")
+            .set(static_cast<double>(solver_.numThreads()));
+        registry.gauge("etcs.sat.portfolio.last_winner")
+            .set(static_cast<double>(sharing.lastWinner));
+        registry.histogram("etcs.sat.portfolio.solve_seconds").observe(seconds);
+        if (sharing.lastWinner >= 0) {
+            registry
+                .counter("etcs.sat.portfolio.wins.worker" +
+                         std::to_string(sharing.lastWinner))
+                .increment();
+        }
+        if (obs::logEnabled(obs::LogLevel::Debug)) {
+            std::string fields = ",\"status\":\"";
+            fields += status == SolveStatus::Sat     ? "sat"
+                      : status == SolveStatus::Unsat ? "unsat"
+                                                     : "unknown";
+            fields += "\",\"seconds\":" + std::to_string(seconds);
+            fields += ",\"threads\":" + std::to_string(solver_.numThreads());
+            fields += ",\"winner\":" + std::to_string(sharing.lastWinner);
+            fields += ",\"imported\":" +
+                      std::to_string(sharing.importedClauses -
+                                     sharingBefore.importedClauses);
+            obs::log(obs::LogLevel::Debug, "sat", "portfolio solve finished", fields);
+        }
+    }
+
+    sat::PortfolioSolver solver_;
+};
+
+}  // namespace
+
+std::unique_ptr<SatBackend> makePortfolioBackend(sat::PortfolioOptions options) {
+    return std::make_unique<PortfolioBackend>(std::move(options));
+}
+
+std::unique_ptr<SatBackend> makePortfolioBackend(int threads, bool deterministic) {
+    sat::PortfolioOptions options;
+    options.numThreads = threads;
+    options.deterministic = deterministic;
+    return makePortfolioBackend(std::move(options));
+}
+
+}  // namespace etcs::cnf

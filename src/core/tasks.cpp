@@ -14,8 +14,11 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 std::unique_ptr<cnf::SatBackend> makeBackend(const TaskOptions& options) {
-    auto backend =
-        options.backendFactory ? options.backendFactory() : cnf::makeInternalBackend();
+    auto backend = options.backendFactory ? options.backendFactory()
+                   : options.threads == 1
+                       ? cnf::makeInternalBackend()
+                       : cnf::makePortfolioBackend(options.threads,
+                                                   options.deterministicPortfolio);
     if (options.progress) {
         backend->setProgressCallback(options.progress, options.progressIntervalConflicts);
     }

@@ -32,8 +32,18 @@ struct TaskOptions {
     /// Optimization: after minimizing completion time, also minimize the
     /// number of virtual borders at the optimal completion time.
     bool lexicographicSections = true;
-    /// SAT backend factory; defaults to the built-in CDCL solver.
+    /// SAT backend factory; defaults to the built-in CDCL solver (or to the
+    /// portfolio backend when `threads` requests more than one worker).
     std::function<std::unique_ptr<cnf::SatBackend>()> backendFactory;
+    /// Solver worker count when no backendFactory is given: 1 runs the
+    /// single-threaded internal backend, >1 the parallel portfolio with that
+    /// many diversified workers, 0 picks the hardware concurrency (see
+    /// docs/PARALLEL.md).
+    int threads = 1;
+    /// Run the portfolio in deterministic lock-step mode (reproducible
+    /// verdict/model/winner for a fixed (threads, seed) pair). Only
+    /// meaningful when the portfolio backend is selected via `threads`.
+    bool deterministicPortfolio = false;
     /// Progress/cancellation hook forwarded to the backend (see
     /// sat::ProgressCallback). Returning false aborts the running solve;
     /// the task then reports infeasible/incomplete. Ignored by backends

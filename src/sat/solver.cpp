@@ -568,6 +568,117 @@ void Solver::compactClauseDatabase() {
     arena_ = std::move(fresh);
 }
 
+void Solver::diversify(std::uint64_t seed, bool randomizePhases) {
+    ETCS_REQUIRE_MSG(decisionLevel() == 0, "diversify only at the root level");
+    // SplitMix64: cheap, deterministic, good bit diffusion for tiny streams.
+    const auto next = [&seed]() {
+        seed += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = seed;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+    std::vector<Var> vars;
+    vars.reserve(assigns_.size());
+    for (Var v = 0; v < numVariables(); ++v) {
+        // Activities stay far below the bump increment, so the noise only
+        // breaks ties until real conflicts take over.
+        activity_[v] = static_cast<double>(next() % 1024) * 1e-9;
+        if (randomizePhases) {
+            polarity_[v] = (next() & 1) != 0 ? 1 : 0;
+        }
+        vars.push_back(v);
+    }
+    order_.rebuild(vars);
+}
+
+void Solver::exportLearntClause(const std::vector<Literal>& learnt) {
+    if (learnt.size() > static_cast<std::size_t>(options_.shareMaxSize)) {
+        return;
+    }
+    // Exact LBD: the number of distinct decision levels in the clause,
+    // computed before backtracking while level_ is still valid. Clauses are
+    // short (<= shareMaxSize), so the quadratic distinct-count is cheap.
+    int lbd = 0;
+    for (std::size_t i = 0; i < learnt.size(); ++i) {
+        const int level = level_[learnt[i].var()];
+        bool fresh = true;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (level_[learnt[j].var()] == level) {
+                fresh = false;
+                break;
+            }
+        }
+        if (fresh) {
+            ++lbd;
+        }
+    }
+    if (options_.shareMaxLbd > 0 && lbd > options_.shareMaxLbd) {
+        return;
+    }
+    ++stats_.exportedClauses;
+    options_.onLearntExport(learnt, lbd);
+}
+
+void Solver::importSharedClauses() {
+    importBuffer_.clear();
+    options_.onImport(importBuffer_);
+    for (const auto& clause : importBuffer_) {
+        if (!ok_) {
+            return;
+        }
+        importOneClause(clause);
+    }
+}
+
+void Solver::importOneClause(std::span<const Literal> literals) {
+    // Same normalization as addClause, but the clause is attached as a
+    // learnt clause: it is implied by the problem clauses (every CDCL learnt
+    // clause is a resolvent), so it may be dropped again by DB reduction
+    // without affecting soundness.
+    std::vector<Literal> lits(literals.begin(), literals.end());
+    std::sort(lits.begin(), lits.end());
+    Literal previous = kUndefLiteral;
+    std::size_t out = 0;
+    for (Literal l : lits) {
+        if (!l.valid() || l.var() >= numVariables()) {
+            return;  // foreign clause references a variable we do not have yet
+        }
+        if (value(l) == Value::True || l == ~previous) {
+            return;  // satisfied at root / tautology
+        }
+        if (value(l) == Value::False || l == previous) {
+            continue;  // falsified at root / duplicate
+        }
+        lits[out++] = l;
+        previous = l;
+    }
+    lits.resize(out);
+    ++stats_.importedClauses;
+    // Imported clauses are not re-derivable by the importer's own proof, so
+    // they are only logged when a writer is attached anyway (the portfolio
+    // disables sharing under proof logging; see docs/PARALLEL.md).
+    if (proof_ != nullptr) {
+        proof_->addClause(lits);
+    }
+    if (lits.empty()) {
+        ok_ = false;
+        return;
+    }
+    if (lits.size() == 1) {
+        uncheckedEnqueue(lits[0], kInvalidClause);
+        ok_ = (propagate() == kInvalidClause);
+        if (!ok_ && proof_ != nullptr) {
+            proof_->addEmptyClause();
+        }
+        return;
+    }
+    const ClauseRef ref = arena_.allocate(lits, /*learnt=*/true);
+    learnts_.push_back(ref);
+    attachClause(ref);
+    bumpClause(arena_.view(ref));
+}
+
 SolveStatus Solver::search(std::int64_t conflictBudget) {
     std::int64_t conflictsThisRestart = 0;
     std::vector<Literal> learntClause;
@@ -599,6 +710,9 @@ SolveStatus Solver::search(std::int64_t conflictBudget) {
             analyze(conflict, learntClause, backtrackLevel);
             if (proof_ != nullptr) {
                 proof_->addClause(learntClause);
+            }
+            if (options_.onLearntExport && options_.shareMaxSize > 0) {
+                exportLearntClause(learntClause);
             }
             cancelUntil(backtrackLevel);
             if (learntClause.size() == 1) {
@@ -686,6 +800,15 @@ SolveStatus Solver::solve(std::span<const Literal> assumptions) {
 
     SolveStatus status = SolveStatus::Unknown;
     for (int restart = 0; status == SolveStatus::Unknown; ++restart) {
+        // Foreign clauses enter only here, at the root level: before the
+        // first descent and at every restart boundary.
+        if (options_.onImport) {
+            importSharedClauses();
+            if (!ok_) {
+                cancelUntil(0);
+                return SolveStatus::Unsat;
+            }
+        }
         const std::int64_t budget =
             options_.useRestarts
                 ? static_cast<std::int64_t>(luby(options_.restartBase, restart))

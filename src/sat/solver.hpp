@@ -92,6 +92,14 @@ public:
     /// so tests (and memory-sensitive embedders) can force a compaction.
     void compactClauseDatabase();
 
+    /// Diversify the decision heuristics for portfolio solving: assign small
+    /// pseudo-random initial variable activities derived from `seed` (a
+    /// deterministic permutation of the branching order) and, when
+    /// `randomizePhases` is set, random saved phases. Soundness is
+    /// unaffected. Must be called at the root level, after the variables it
+    /// should cover exist; typically once before the first solve().
+    void diversify(std::uint64_t seed, bool randomizePhases);
+
     /// Words currently wasted by deleted clauses (observability for tests).
     [[nodiscard]] std::size_t wastedArenaWords() const noexcept {
         return arena_.wastedWords();
@@ -152,6 +160,9 @@ private:
     bool literalRedundant(Literal p, std::uint32_t abstractLevels);
     void analyzeFinal(Literal failedAssumption);
     SolveStatus search(std::int64_t conflictBudget);
+    void exportLearntClause(const std::vector<Literal>& learnt);
+    void importSharedClauses();
+    void importOneClause(std::span<const Literal> literals);
     void reduceLearnedDb();
     void attachClause(ClauseRef ref);
     void detachClause(ClauseRef ref);
@@ -191,6 +202,7 @@ private:
 
     std::vector<Literal> assumptions_;
     std::vector<Literal> conflictCore_;
+    std::vector<std::vector<Literal>> importBuffer_;  ///< scratch for onImport polls
 
     std::vector<char> seen_;
     std::vector<Literal> analyzeStack_;

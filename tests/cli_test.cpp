@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <fstream>
@@ -35,9 +36,12 @@ struct RunResult {
     std::string output;  ///< combined stdout + stderr
 };
 
-/// Run a command, capturing combined output and the real exit code.
+/// Run a command, capturing combined output and the real exit code. The
+/// capture file is per-process: ctest runs each discovered test case as its
+/// own process, concurrently under -j, and a shared file name races.
 RunResult run(const std::string& command) {
-    const std::string outFile = testing::TempDir() + "cli_test_output.txt";
+    const std::string outFile = testing::TempDir() + "cli_test_output." +
+                                std::to_string(::getpid()) + ".txt";
     const int status = std::system((command + " > " + outFile + " 2>&1").c_str());
     RunResult result;
     if (WIFEXITED(status)) {

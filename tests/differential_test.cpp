@@ -22,43 +22,16 @@
 #include "sat/proof.hpp"
 #include "sat/solver.hpp"
 #include "studies/studies.hpp"
+#include "support/formula_helpers.hpp"
 #include "support/test_seed.hpp"
 
 namespace etcs::sat {
 namespace {
 
-CnfFormula makeRandomFormula(std::mt19937& rng, int numVariables, int numClauses,
-                             int clauseSize) {
-    CnfFormula f;
-    f.numVariables = numVariables;
-    std::uniform_int_distribution<int> varDist(0, numVariables - 1);
-    std::bernoulli_distribution signDist(0.5);
-    for (int c = 0; c < numClauses; ++c) {
-        std::vector<Literal> clause;
-        for (int k = 0; k < clauseSize; ++k) {
-            clause.push_back(Literal(varDist(rng), signDist(rng)));
-        }
-        f.clauses.push_back(std::move(clause));
-    }
-    return f;
-}
-
-bool modelSatisfies(const CnfFormula& f, const std::vector<Value>& model) {
-    for (const auto& clause : f.clauses) {
-        bool satisfied = false;
-        for (Literal l : clause) {
-            const Value v = model[static_cast<std::size_t>(l.var())];
-            if ((l.sign() && v == Value::False) || (!l.sign() && v == Value::True)) {
-                satisfied = true;
-                break;
-            }
-        }
-        if (!satisfied) {
-            return false;
-        }
-    }
-    return true;
-}
+using etcs::test::makeRandomFormula;
+using etcs::test::modelSatisfies;
+using etcs::test::pigeonhole;
+using etcs::test::proofCertifies;
 
 struct PipelineResult {
     SolveStatus status = SolveStatus::Unknown;
@@ -145,19 +118,6 @@ SolveStatus solveZ3(const CnfFormula& f) {
 }
 #endif
 
-/// Certify an UNSAT verdict: the recorded proof must check against the
-/// *original* formula with the independent backward checker.
-::testing::AssertionResult proofCertifies(const CnfFormula& original,
-                                          const DratProof& proof) {
-    const DratCheckResult check = checkDrat(original, proof);
-    if (check.verified) {
-        return ::testing::AssertionSuccess();
-    }
-    return ::testing::AssertionFailure()
-           << "proof rejected: " << check.error << " (" << proof.steps.size()
-           << " steps)";
-}
-
 /// (variables, clauses, clause size, seed) — one batch of the sweep.
 using DiffCase = std::tuple<int, int, int, unsigned>;
 
@@ -211,27 +171,6 @@ INSTANTIATE_TEST_SUITE_P(
                       DiffCase{25, 107, 3, 9007},  // ~4.3, larger
                       DiffCase{30, 135, 4, 9008}   // 4-SAT under-threshold
                       ));
-
-CnfFormula pigeonhole(int pigeons, int holes) {
-    CnfFormula f;
-    f.numVariables = pigeons * holes;
-    const auto litOf = [holes](int p, int h) { return Literal::positive(p * holes + h); };
-    for (int p = 0; p < pigeons; ++p) {
-        std::vector<Literal> atLeast;
-        for (int h = 0; h < holes; ++h) {
-            atLeast.push_back(litOf(p, h));
-        }
-        f.clauses.push_back(std::move(atLeast));
-    }
-    for (int h = 0; h < holes; ++h) {
-        for (int p1 = 0; p1 < pigeons; ++p1) {
-            for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
-                f.clauses.push_back({~litOf(p1, h), ~litOf(p2, h)});
-            }
-        }
-    }
-    return f;
-}
 
 TEST(DifferentialProofs, SurviveForcedClauseDbReduction) {
     // A tiny learnt-DB ceiling forces reduceLearnedDb to fire constantly,
