@@ -22,6 +22,7 @@
 
 #include "cnf/collect.hpp"
 #include "core/encoder.hpp"
+#include "core/explain.hpp"
 #include "core/instance.hpp"
 #include "core/tasks.hpp"
 #include "railway/dot.hpp"
@@ -40,13 +41,16 @@ struct CliOptions {
     std::optional<std::string> dotFile;
     std::optional<std::string> cnfFile;
     bool pureLayout = false;
+    bool explain = false;
+    std::optional<std::string> explainJsonFile;
     int threads = 1;
 };
 
 void usage() {
     std::cerr << "usage: etcs_cli <verify|generate|optimize|encode> <network.rail> "
                  "<scenario.sched> --rs <meters> --rt <seconds> [--dot <file>] "
-                 "[--cnf <file>] [--pure] [--threads <n>]\n";
+                 "[--cnf <file>] [--pure] [--threads <n>] [--explain] "
+                 "[--explain-json <file>]\n";
 }
 
 std::optional<CliOptions> parseArguments(int argc, char** argv) {
@@ -62,6 +66,10 @@ std::optional<CliOptions> parseArguments(int argc, char** argv) {
             options.pureLayout = true;
             continue;
         }
+        if (std::strcmp(argv[i], "--explain") == 0) {
+            options.explain = true;
+            continue;
+        }
         if (i + 1 >= argc) {
             return std::nullopt;
         }
@@ -73,6 +81,9 @@ std::optional<CliOptions> parseArguments(int argc, char** argv) {
             options.dotFile = argv[i + 1];
         } else if (std::strcmp(argv[i], "--cnf") == 0) {
             options.cnfFile = argv[i + 1];
+        } else if (std::strcmp(argv[i], "--explain-json") == 0) {
+            options.explainJsonFile = argv[i + 1];
+            options.explain = true;
         } else if (std::strcmp(argv[i], "--threads") == 0) {
             options.threads = std::atoi(argv[i + 1]);
             if (options.threads < 0) {
@@ -97,6 +108,27 @@ std::optional<CliOptions> parseArguments(int argc, char** argv) {
         return std::nullopt;
     }
     return options;
+}
+
+/// On an infeasible verdict with --explain: run the certified-core
+/// explanation pipeline (see docs/EXPLAIN.md) and print the report; with
+/// --explain-json also export the machine-readable report.
+void maybeExplain(const CliOptions& options, const core::Instance& instance,
+                  const core::VssLayout* fixedLayout) {
+    if (!options.explain) {
+        return;
+    }
+    const core::ExplainResult result = core::explainInfeasibility(instance, fixedLayout);
+    core::writeExplanationText(std::cout, result);
+    if (options.explainJsonFile) {
+        std::ofstream out(*options.explainJsonFile);
+        if (out) {
+            core::writeExplanationJson(out, result);
+            std::cout << "explanation JSON written to " << *options.explainJsonFile << "\n";
+        } else {
+            std::cerr << "error: cannot write " << *options.explainJsonFile << "\n";
+        }
+    }
 }
 
 void maybeWriteDot(const CliOptions& options, const rail::SegmentGraph& graph,
@@ -167,12 +199,16 @@ int main(int argc, char** argv) {
                       << (result.feasible ? "FEASIBLE" : "INFEASIBLE") << " ["
                       << result.stats.numVariables << " vars, "
                       << result.stats.runtimeSeconds << " s]\n";
+            if (!result.feasible) {
+                maybeExplain(*options, instance, &pure);
+            }
             return result.feasible ? 0 : 1;
         }
         if (options->command == "generate") {
             const auto result = core::generateLayout(instance, taskOptions);
             if (!result.feasible) {
                 std::cout << "no VSS layout can realize this schedule\n";
+                maybeExplain(*options, instance, nullptr);
                 return 1;
             }
             std::cout << "layout found: " << result.sectionCount << " TTD/VSS sections ("
@@ -186,6 +222,7 @@ int main(int argc, char** argv) {
         const auto result = core::optimizeSchedule(instance, taskOptions);
         if (!result.feasible) {
             std::cout << "the trains cannot complete within the scenario horizon\n";
+            maybeExplain(*options, instance, nullptr);
             return 1;
         }
         std::cout << "optimal completion: " << result.completionSteps << " time steps ("

@@ -2,7 +2,7 @@
 /// Standalone DIMACS front end for the built-in CDCL solver — useful for
 /// exercising the SAT substrate on standard benchmark files.
 ///
-///   sat_solve [--preprocess] [--no-restarts] [--stats]
+///   sat_solve [--preprocess] [--no-restarts] [--stats] [--explain]
 ///             [--threads N [--deterministic]]
 ///             [--proof FILE [--binary-proof]] [file.cnf]
 ///
@@ -21,6 +21,13 @@
 /// on UNSAT the file can be validated with `dratcheck file.cnf FILE`.
 /// Portfolio proofs are winner-only (clause sharing is disabled while a
 /// proof is attached).
+///
+/// With --explain, the proof is captured in memory, an UNSAT verdict is
+/// certified in-process with the independent DRAT checker, and the indices
+/// of the original clauses in the certified core are printed as "c core"
+/// comments (the CNF-level half of the provenance pipeline in
+/// docs/EXPLAIN.md). Combines with --proof: the captured proof is then also
+/// serialized to the file.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -28,6 +35,7 @@
 #include <memory>
 
 #include "sat/dimacs.hpp"
+#include "sat/drat_check.hpp"
 #include "sat/portfolio.hpp"
 #include "sat/preprocess.hpp"
 #include "sat/proof.hpp"
@@ -41,6 +49,7 @@ int main(int argc, char** argv) {
     bool printStats = false;
     bool binaryProof = false;
     bool deterministic = false;
+    bool explain = false;
     int threads = 1;
     const char* proofPath = nullptr;
     const char* path = nullptr;
@@ -55,6 +64,8 @@ int main(int argc, char** argv) {
             binaryProof = true;
         } else if (std::strcmp(argv[i], "--deterministic") == 0) {
             deterministic = true;
+        } else if (std::strcmp(argv[i], "--explain") == 0) {
+            explain = true;
         } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
             threads = std::atoi(argv[++i]);
             if (threads < 0) {
@@ -65,7 +76,7 @@ int main(int argc, char** argv) {
             proofPath = argv[++i];
         } else if (argv[i][0] == '-') {
             std::cerr << "usage: sat_solve [--preprocess] [--no-restarts] [--stats] "
-                         "[--threads N [--deterministic]] "
+                         "[--explain] [--threads N [--deterministic]] "
                          "[--proof FILE [--binary-proof]] [file.cnf]\n";
             return 2;
         } else {
@@ -89,7 +100,7 @@ int main(int argc, char** argv) {
                   << formula.clauses.size() << " clauses\n";
 
         std::ofstream proofFile;
-        std::unique_ptr<ProofWriter> proof;
+        std::unique_ptr<ProofWriter> fileProof;
         if (proofPath != nullptr) {
             proofFile.open(proofPath,
                            binaryProof ? std::ios::out | std::ios::binary : std::ios::out);
@@ -98,23 +109,61 @@ int main(int argc, char** argv) {
                 return 2;
             }
             if (binaryProof) {
-                proof = std::make_unique<BinaryDratWriter>(proofFile);
+                fileProof = std::make_unique<BinaryDratWriter>(proofFile);
             } else {
-                proof = std::make_unique<TextDratWriter>(proofFile);
+                fileProof = std::make_unique<TextDratWriter>(proofFile);
             }
         }
 
+        // --explain captures the proof in memory so it can be checked
+        // in-process against the original (pre-preprocessing) formula; the
+        // file writer, when present, gets the same proof replayed afterwards.
+        MemoryProofWriter memoryProof;
+        CnfFormula original;
+        if (explain) {
+            original = formula;
+        }
+        ProofWriter* proof =
+            explain ? static_cast<ProofWriter*>(&memoryProof) : fileProof.get();
+
+        const auto finishProof = [&] {
+            if (explain && fileProof) {
+                writeDrat(*fileProof, memoryProof.proof());
+            }
+            if (fileProof) {
+                fileProof->flush();
+            }
+        };
+        const auto certifyCore = [&] {
+            const DratCheckResult check = checkDrat(original, memoryProof.proof());
+            if (!check.verified) {
+                std::cout << "c explain: DRAT certification FAILED: " << check.error
+                          << "\n";
+                return;
+            }
+            std::cout << "c explain: certified UNSAT core: "
+                      << check.coreClauseIndices.size() << " of "
+                      << original.clauses.size() << " original clauses ("
+                      << check.stats.verifiedLemmas << " verified lemmas)\n";
+            std::cout << "c core";
+            for (const std::size_t index : check.coreClauseIndices) {
+                std::cout << ' ' << index;
+            }
+            std::cout << "\n";
+        };
+
         std::vector<Literal> fixed;
         if (runPreprocess) {
-            const auto pre = preprocess(formula, proof.get());
+            const auto pre = preprocess(formula, proof);
             std::cout << "c preprocess: " << pre.stats.propagatedUnits << " units, "
                       << pre.stats.eliminatedPureLiterals << " pure, "
                       << pre.stats.subsumedClauses << " subsumed, "
                       << pre.stats.strengthenedClauses << " strengthened ("
                       << pre.stats.rounds << " rounds)\n";
             if (pre.unsatisfiable) {
-                if (proof) {
-                    proof->flush();
+                finishProof();
+                if (explain) {
+                    certifyCore();
                 }
                 std::cout << "s UNSATISFIABLE\n";
                 return 20;
@@ -131,7 +180,7 @@ int main(int argc, char** argv) {
             popts.numThreads = threads;
             popts.deterministic = deterministic;
             portfolio = std::make_unique<PortfolioSolver>(popts);
-            portfolio->setProofWriter(proof.get());
+            portfolio->setProofWriter(proof);
             for (int v = 0; v < formula.numVariables; ++v) {
                 portfolio->addVariable();
             }
@@ -145,7 +194,7 @@ int main(int argc, char** argv) {
                       << "\n";
         } else {
             solver.options().useRestarts = !noRestarts;
-            solver.setProofWriter(proof.get());
+            solver.setProofWriter(proof);
             for (int v = 0; v < formula.numVariables; ++v) {
                 solver.addVariable();
             }
@@ -154,9 +203,7 @@ int main(int argc, char** argv) {
             }
             status = solver.solve();
         }
-        if (proof) {
-            proof->flush();
-        }
+        finishProof();
         if (printStats) {
             const auto& stats = portfolio ? portfolio->solverStats() : solver.stats();
             std::cout << "c decisions " << stats.decisions << ", conflicts "
@@ -171,6 +218,9 @@ int main(int argc, char** argv) {
             }
         }
         if (status == SolveStatus::Unsat) {
+            if (explain) {
+                certifyCore();
+            }
             std::cout << "s UNSATISFIABLE\n";
             return 20;
         }

@@ -37,6 +37,16 @@ public:
         return f;
     }
 
+    /// Move the recorded formula out (avoids the copy for large encodings);
+    /// the backend is empty afterwards except for the variable count.
+    [[nodiscard]] sat::CnfFormula takeFormula() {
+        sat::CnfFormula f;
+        f.numVariables = numVariables_;
+        f.clauses = std::move(clauses_);
+        clauses_.clear();
+        return f;
+    }
+
     [[nodiscard]] const std::vector<std::vector<Literal>>& clauses() const noexcept {
         return clauses_;
     }

@@ -123,6 +123,13 @@ private:
                          std::to_string(sharing.lastWinner))
                 .increment();
         }
+        if (status == SolveStatus::Unsat) {
+            // Size of the winner's snapshotted failed-assumption core (0 for
+            // terminal, assumption-free UNSAT) — feeds core attribution.
+            const double coreSize = static_cast<double>(solver_.conflictCore().size());
+            registry.gauge("etcs.sat.portfolio.core_size").set(coreSize);
+            registry.histogram("etcs.sat.portfolio.core_sizes").observe(coreSize);
+        }
         if (obs::logEnabled(obs::LogLevel::Debug)) {
             std::string fields = ",\"status\":\"";
             fields += status == SolveStatus::Sat     ? "sat"

@@ -161,6 +161,9 @@ void Encoder::encode(const VssLayout* fixedLayout) {
             .add(static_cast<std::uint64_t>(counts.variables));
         registry.counter("etcs.encoder.clauses." + family).add(counts.clauses);
     }
+    if (options_.trackProvenance) {
+        recordProvenanceMetrics();
+    }
     if (obs::tracingEnabled()) {
         std::string args = "{\"variables\":" + std::to_string(backend_->numVariables()) +
                            ",\"clauses\":" + std::to_string(backend_->numClauses()) + "}";
@@ -170,6 +173,39 @@ void Encoder::encode(const VssLayout* fixedLayout) {
         obs::log(obs::LogLevel::Info, "encoder", "encoding finished",
                  ",\"variables\":" + std::to_string(backend_->numVariables()) +
                      ",\"clauses\":" + std::to_string(backend_->numClauses()));
+    }
+}
+
+void Encoder::recordProvenanceMetrics() const {
+    // Per-entity encoder accounting (the heatmap axes of docs/EXPLAIN.md):
+    // how many clauses each run and each TTD section contributed.
+    std::vector<std::uint64_t> byRun(instance_->numRuns(), 0);
+    std::vector<std::uint64_t> byTtd(instance_->network().numTtds(), 0);
+    for (std::size_t span = 0; span < provenance_.numSpans(); ++span) {
+        const ClauseProvenance& record = provenance_.record(span);
+        const auto clauses = static_cast<std::uint64_t>(provenance_.spanClauseCount(span));
+        if (record.run >= 0) {
+            byRun[static_cast<std::size_t>(record.run)] += clauses;
+        }
+        if (record.run2 >= 0) {
+            byRun[static_cast<std::size_t>(record.run2)] += clauses;
+        }
+        if (record.ttd >= 0) {
+            byTtd[static_cast<std::size_t>(record.ttd)] += clauses;
+        }
+    }
+    auto& registry = obs::Registry::global();
+    registry.counter("etcs.provenance.spans").add(provenance_.numSpans());
+    registry.counter("etcs.provenance.clauses.tagged").add(provenance_.taggedClauses());
+    registry.counter("etcs.provenance.clauses.untagged")
+        .add(backend_->numClauses() - provenance_.taggedClauses());
+    for (std::size_t run = 0; run < byRun.size(); ++run) {
+        registry.counter("etcs.provenance.clauses.run." + std::to_string(run))
+            .add(byRun[run]);
+    }
+    for (std::size_t ttd = 0; ttd < byTtd.size(); ++ttd) {
+        registry.counter("etcs.provenance.clauses.ttd." + std::to_string(ttd))
+            .add(byTtd[ttd]);
     }
 }
 
@@ -184,6 +220,7 @@ void Encoder::encodeChainOccupancy(std::size_t run) {
     }
 
     for (int t = r.departureStep; t < horizon; ++t) {
+        tag({.family = "chain_occupancy", .run = static_cast<int>(run), .step = t});
         const auto& occAtT = occ_[run][static_cast<std::size_t>(t)];
         const Literal doneLit = done_[run][static_cast<std::size_t>(t)];
 
@@ -236,6 +273,7 @@ void Encoder::encodeChainOccupancy(std::size_t run) {
         // left the network (paper's C1 with explicit presence handling).
         cnf::addExactlyOne(*backend_, options, options_.amoEncoding);
     }
+    tagEnd();
 }
 
 void Encoder::encodeMovement(std::size_t run) {
@@ -245,6 +283,7 @@ void Encoder::encodeMovement(std::size_t run) {
     const std::size_t numSegments = graph.numSegments();
 
     for (int t = r.departureStep; t + 1 < horizon; ++t) {
+        tag({.family = "movement", .run = static_cast<int>(run), .step = t});
         const auto& occNow = occ_[run][static_cast<std::size_t>(t)];
         const auto& occNext = occ_[run][static_cast<std::size_t>(t) + 1];
         const Literal doneNext = done_[run][static_cast<std::size_t>(t) + 1];
@@ -268,6 +307,7 @@ void Encoder::encodeMovement(std::size_t run) {
             backend_->addClause(clause);
         }
     }
+    tagEnd();
 }
 
 void Encoder::encodeDoneMachinery(std::size_t run) {
@@ -276,6 +316,7 @@ void Encoder::encodeDoneMachinery(std::size_t run) {
     const SegmentId dest = r.destination().segment;
 
     for (int t = r.departureStep + 1; t < horizon; ++t) {
+        tag({.family = "done_machinery", .run = static_cast<int>(run), .step = t});
         const Literal doneNow = done_[run][static_cast<std::size_t>(t)];
         // done is monotone: done^t -> done^{t+1}.
         if (t + 1 < horizon) {
@@ -294,6 +335,7 @@ void Encoder::encodeDoneMachinery(std::size_t run) {
         }
         backend_->addClause(clause);
     }
+    tagEnd();
 }
 
 void Encoder::encodeSchedulePins(std::size_t run) {
@@ -301,6 +343,10 @@ void Encoder::encodeSchedulePins(std::size_t run) {
     const int horizon = instance_->horizonSteps();
 
     // Input position: the train appears at its origin at departure.
+    tag({.family = "schedule_pins",
+         .run = static_cast<int>(run),
+         .step = r.departureStep,
+         .segment = static_cast<int>(r.originSegment.get())});
     const Literal origin =
         occ_[run][static_cast<std::size_t>(r.departureStep)][r.originSegment.get()];
     if (origin.valid()) {
@@ -315,6 +361,10 @@ void Encoder::encodeSchedulePins(std::size_t run) {
             // triples); a dwell extends the pin over consecutive steps.
             for (int j = 0; j < stop.dwellSteps; ++j) {
                 const int step = *stop.arrivalStep + j;
+                tag({.family = "schedule_pins",
+                     .run = static_cast<int>(run),
+                     .step = step,
+                     .segment = static_cast<int>(stop.segment.get())});
                 const Literal lit =
                     step < horizon
                         ? occ_[run][static_cast<std::size_t>(step)][stop.segment.get()]
@@ -328,6 +378,9 @@ void Encoder::encodeSchedulePins(std::size_t run) {
         } else if (stop.dwellSteps <= 1) {
             // Open stop: the run must visit it at some step (paper Sec. III-C,
             // optimization task).
+            tag({.family = "schedule_pins",
+                 .run = static_cast<int>(run),
+                 .segment = static_cast<int>(stop.segment.get())});
             std::vector<Literal> clause;
             for (int t = r.departureStep; t < horizon; ++t) {
                 const Literal lit = occ_[run][static_cast<std::size_t>(t)][stop.segment.get()];
@@ -339,6 +392,9 @@ void Encoder::encodeSchedulePins(std::size_t run) {
         } else {
             // Open stop with dwell: some window of dwellSteps consecutive
             // steps must all occupy the stop. One selector per window start.
+            tag({.family = "schedule_pins",
+                 .run = static_cast<int>(run),
+                 .segment = static_cast<int>(stop.segment.get())});
             std::vector<Literal> selectors;
             for (int t = r.departureStep; t + stop.dwellSteps <= horizon; ++t) {
                 bool windowAvailable = true;
@@ -361,6 +417,7 @@ void Encoder::encodeSchedulePins(std::size_t run) {
             backend_->addClause(selectors);  // empty -> infeasible, as intended
         }
     }
+    tagEnd();
 }
 
 void Encoder::encodeVssSeparation(std::size_t run1, std::size_t run2,
@@ -412,6 +469,12 @@ void Encoder::encodeVssSeparation(std::size_t run1, std::size_t run2,
                 }
 
                 for (int t = firstStep; t < horizon; ++t) {
+                    tag({.family = "vss_separation",
+                         .run = static_cast<int>(run1),
+                         .run2 = static_cast<int>(run2),
+                         .step = t,
+                         .ttd = static_cast<int>(ttd),
+                         .segment = static_cast<int>(e.get())});
                     const Literal occ1e = occ_[run1][static_cast<std::size_t>(t)][e.get()];
                     const Literal occ2f = occ_[run2][static_cast<std::size_t>(t)][f.get()];
                     const Literal occ1f = occ_[run1][static_cast<std::size_t>(t)][f.get()];
@@ -439,6 +502,7 @@ void Encoder::encodeVssSeparation(std::size_t run1, std::size_t run2,
             }
         }
     }
+    tagEnd();
 }
 
 const std::vector<SegmentId>& Encoder::pathUnion(SegmentId e, SegmentId f, int maxLength) {
@@ -469,6 +533,7 @@ void Encoder::encodePassThrough(std::size_t mover) {
     const std::size_t numSegments = graph.numSegments();
 
     for (int t = r.departureStep; t + 1 < horizon; ++t) {
+        tag({.family = "pass_through", .run = static_cast<int>(mover), .step = t});
         const auto& occNow = occ_[mover][static_cast<std::size_t>(t)];
         const auto& occNext = occ_[mover][static_cast<std::size_t>(t) + 1];
 
@@ -503,6 +568,10 @@ void Encoder::encodePassThrough(std::size_t mover) {
             if (other == mover) {
                 continue;
             }
+            tag({.family = "pass_through",
+                 .run = static_cast<int>(mover),
+                 .run2 = static_cast<int>(other),
+                 .step = t});
             for (std::size_t g = 0; g < numSegments; ++g) {
                 if (!sweep[g].valid()) {
                     continue;
@@ -518,6 +587,7 @@ void Encoder::encodePassThrough(std::size_t mover) {
             }
         }
     }
+    tagEnd();
 }
 
 Literal Encoder::doneAllLiteral(int step) {
@@ -529,6 +599,7 @@ Literal Encoder::doneAllLiteral(int step) {
     }
     const int varsBefore = backend_->numVariables();
     const std::size_t clausesBefore = backend_->numClauses();
+    tag({.family = "done_all_selectors", .step = step});
     const Literal lit = Literal::positive(backend_->addVariable());
     for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
         const Literal doneLit = done_[run][static_cast<std::size_t>(step)];
@@ -540,6 +611,7 @@ Literal Encoder::doneAllLiteral(int step) {
             break;
         }
     }
+    tagEnd();
     accumulateFamily("done_all_selectors", backend_->numVariables() - varsBefore,
                      backend_->numClauses() - clausesBefore);
     cached = lit;

@@ -30,6 +30,7 @@
 #include "cnf/backend.hpp"
 #include "core/instance.hpp"
 #include "core/layout.hpp"
+#include "core/provenance.hpp"
 
 namespace etcs::core {
 
@@ -41,6 +42,8 @@ struct EncoderOptions {
     bool pruneWithCones = true;       ///< restrict occupies vars to reachability cones
     bool encodePassThrough = true;    ///< emit C4 (ablation toggle; unsafe to disable
                                       ///< except for measurements)
+    bool trackProvenance = false;     ///< record a clause provenance side-table
+                                      ///< (see provenance.hpp / docs/EXPLAIN.md)
 };
 
 /// Variables/clauses attributed to one part of the encoding — the Table-I
@@ -98,6 +101,12 @@ public:
         return familyCounts_;
     }
 
+    /// Clause provenance side-table; nullptr unless
+    /// EncoderOptions::trackProvenance was set before encode().
+    [[nodiscard]] const ProvenanceTable* provenance() const noexcept {
+        return options_.trackProvenance ? &provenance_ : nullptr;
+    }
+
     /// Occupies literal for (run, segment, step); invalid when constant false.
     [[nodiscard]] Literal occupiesLiteral(std::size_t run, SegmentId segment, int step) const {
         return occ_[run][static_cast<std::size_t>(step)][segment.get()];
@@ -125,6 +134,20 @@ private:
     void measured(const char* family, Fn&& fn);
     void accumulateFamily(std::string_view family, int variables, std::size_t clauses);
 
+    /// Begin/end a provenance context at the backend's current clause count.
+    /// Both are single-branch no-ops when provenance tracking is off.
+    void tag(const ClauseProvenance& record) {
+        if (options_.trackProvenance) {
+            provenance_.open(backend_->numClauses(), record);
+        }
+    }
+    void tagEnd() {
+        if (options_.trackProvenance) {
+            provenance_.close(backend_->numClauses());
+        }
+    }
+    void recordProvenanceMetrics() const;
+
     [[nodiscard]] bool inCone(std::size_t run, SegmentId segment, int step) const;
     /// Union of segments on all node-simple paths from e to f of at most
     /// maxLength segments (memoized; endpoints included).
@@ -148,6 +171,7 @@ private:
     std::vector<Literal> doneAll_;  // lazily created per step
 
     std::vector<FamilyCounts> familyCounts_;
+    ProvenanceTable provenance_;  ///< populated only when options_.trackProvenance
 
     // chains per train length, computed once per distinct length
     std::unordered_map<int, std::vector<rail::Chain>> chainsByLength_;

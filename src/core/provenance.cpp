@@ -1,0 +1,79 @@
+#include "core/provenance.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace etcs::core {
+
+void ProvenanceTable::open(std::size_t clauseId, const ClauseProvenance& record) {
+    close(clauseId);
+    openActive_ = true;
+    openAt_ = clauseId;
+    openRecord_ = record;
+}
+
+void ProvenanceTable::close(std::size_t clauseId) {
+    if (!openActive_) {
+        return;
+    }
+    openActive_ = false;
+    ETCS_REQUIRE_MSG(clauseId >= openAt_, "provenance context closed before it opened");
+    if (clauseId == openAt_) {
+        return;  // context emitted no clauses
+    }
+    // Merge with the previous span when the record matches and the ranges
+    // touch (re-entered contexts, e.g. a family resumed for the next run).
+    if (!spans_.empty()) {
+        Span& last = spans_.back();
+        if (last.firstClause + last.clauseCount == openAt_ && last.record == openRecord_) {
+            last.clauseCount += clauseId - openAt_;
+            taggedClauses_ += clauseId - openAt_;
+            return;
+        }
+        ETCS_REQUIRE_MSG(last.firstClause + last.clauseCount <= openAt_,
+                         "provenance spans must not overlap");
+    }
+    spans_.push_back(Span{openAt_, clauseId - openAt_, openRecord_});
+    taggedClauses_ += clauseId - openAt_;
+}
+
+int ProvenanceTable::spanOf(std::size_t clauseId) const {
+    // First span starting after clauseId, then step back one.
+    const auto it = std::upper_bound(
+        spans_.begin(), spans_.end(), clauseId,
+        [](std::size_t id, const Span& span) { return id < span.firstClause; });
+    if (it == spans_.begin()) {
+        return -1;
+    }
+    const Span& span = *std::prev(it);
+    if (clauseId >= span.firstClause + span.clauseCount) {
+        return -1;
+    }
+    return static_cast<int>(std::distance(spans_.begin(), std::prev(it)));
+}
+
+const ClauseProvenance* ProvenanceTable::lookup(std::size_t clauseId) const {
+    const int span = spanOf(clauseId);
+    return span < 0 ? nullptr : &spans_[static_cast<std::size_t>(span)].record;
+}
+
+std::string toString(const ClauseProvenance& record) {
+    std::string out(record.family);
+    const auto append = [&out](const char* name, int value) {
+        if (value >= 0) {
+            out += ' ';
+            out += name;
+            out += '=';
+            out += std::to_string(value);
+        }
+    };
+    append("run", record.run);
+    append("run2", record.run2);
+    append("step", record.step);
+    append("ttd", record.ttd);
+    append("segment", record.segment);
+    return out;
+}
+
+}  // namespace etcs::core

@@ -8,7 +8,7 @@ namespace etcs::lint {
 
 namespace {
 
-constexpr std::array<CodeInfo, 29> kCodes{{
+constexpr std::array<CodeInfo, 34> kCodes{{
     // Parse-level issues (emitted by the lenient readers in railway/io.hpp).
     {"L001", Severity::Error, "syntax error (malformed line, number, or clock value)"},
     {"L002", Severity::Error, "duplicate entity name"},
@@ -42,6 +42,13 @@ constexpr std::array<CodeInfo, 29> kCodes{{
     {"C007", Severity::Error, "empty clause (trivially UNSAT)"},
     {"C008", Severity::Error, "literal references a variable beyond the declared count"},
     {"C010", Severity::Info, "formula decomposes into independent components"},
+    // Infeasibility explanations (emitted by core/explain.hpp from a
+    // certified UNSAT core, not by the static linters).
+    {"E101", Severity::Error, "schedule proven infeasible (certified UNSAT core summary)"},
+    {"E102", Severity::Error, "schedule pin unreachable or conflicting in the core"},
+    {"E103", Severity::Error, "TTD separation / headway conflict in the core"},
+    {"E104", Severity::Error, "pass-through exclusivity conflict in the core"},
+    {"E105", Severity::Info, "movement or occupancy envelope cited by the core"},
 }};
 
 void writeJsonEscaped(std::ostream& os, std::string_view text) {

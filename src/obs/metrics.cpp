@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -23,10 +24,12 @@ void appendJsonNumber(std::ostream& os, double v) {
         os << 0;  // JSON has no Inf/NaN; metrics never legitimately produce them
         return;
     }
-    std::ostringstream tmp;
-    tmp.precision(12);
-    tmp << v;
-    os << tmp.str();
+    // Fixed %.12g formatting, independent of stream state and locale, so two
+    // exports of the same registry are byte-identical (benchdiff and the
+    // determinism tests rely on this).
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+    os << buffer;
 }
 
 }  // namespace

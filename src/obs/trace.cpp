@@ -95,6 +95,18 @@ struct Sinks {
             traceFile << ",\"s\":\"t\"";
         }
         traceFile << body << "}";
+        // Flush per event: a trace of a crashed or aborted run is readable up
+        // to the last completed event instead of losing the buffered tail.
+        traceFile.flush();
+    }
+
+    void flushLocked() {
+        if (traceFile.is_open()) {
+            traceFile.flush();
+        }
+        if (logToFile && logFile.is_open()) {
+            logFile.flush();
+        }
     }
 };
 
@@ -104,8 +116,15 @@ Sinks& sinks() {
 }
 
 // Force the sinks (and thus ETCS_TRACE handling) to life at process start,
-// not at first instrumented call.
-[[maybe_unused]] const bool kSinksInitialized = (sinks(), true);
+// not at first instrumented call. The atexit handler is registered AFTER the
+// Sinks instance is constructed, so it runs BEFORE the static destructor:
+// std::exit() paths finalize the trace (closing "]") while the object is
+// still alive, and the destructor's stopLocked() then sees a closed file.
+[[maybe_unused]] const bool kSinksInitialized = [] {
+    sinks();
+    std::atexit([] { Tracer::stop(); });
+    return true;
+}();
 
 double wallSeconds() {
     return std::chrono::duration<double>(
@@ -173,6 +192,12 @@ void Tracer::stop() {
     Sinks& s = sinks();
     const std::scoped_lock lock(s.mutex);
     s.stopLocked();
+}
+
+void Tracer::flush() {
+    Sinks& s = sinks();
+    const std::scoped_lock lock(s.mutex);
+    s.flushLocked();
 }
 
 void Tracer::begin(const char* name, std::string_view args) {

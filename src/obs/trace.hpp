@@ -57,8 +57,13 @@ public:
     static bool start(const std::string& path);
 
     /// Finalize (write the closing bracket) and close the trace file.
-    /// Also invoked automatically at process exit.
+    /// Also invoked automatically at process exit (including std::exit(),
+    /// via an atexit handler), so no ETCS_TRACE output is lost on early
+    /// termination; events are additionally flushed as they are written.
     static void stop();
+
+    /// Push buffered trace/log output to disk without finalizing anything.
+    static void flush();
 
     /// Emit a begin/end duration event. Use the Span RAII wrapper instead of
     /// calling these directly; they are public for bindings and tests.

@@ -504,6 +504,9 @@ DratCheckResult Checker::run() {
     if (!clauses_[conflictSource].isLemma && clauses_[conflictSource].lits.empty()) {
         clauses_[conflictSource].marked = true;
         stats_.coreClauses = 1;
+        // Original clauses are recorded in formula order, so a non-lemma
+        // record id doubles as the clause's index into formula_.clauses.
+        result.coreClauseIndices.push_back(static_cast<std::size_t>(conflictSource));
         result.verified = true;
         result.stats = stats_;
         return result;
@@ -549,9 +552,13 @@ DratCheckResult Checker::run() {
         }
     }
 
-    for (const CClause& c : clauses_) {
+    // Original clauses were added first and in formula order, so a non-lemma
+    // record's id is exactly its index into formula_.clauses.
+    for (std::size_t id = 0; id < clauses_.size(); ++id) {
+        const CClause& c = clauses_[id];
         if (!c.isLemma && c.marked) {
             ++stats_.coreClauses;
+            result.coreClauseIndices.push_back(id);
         }
     }
     result.verified = true;

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sat/dimacs.hpp"
 #include "sat/proof.hpp"
@@ -46,6 +47,11 @@ struct DratCheckResult {
     bool verified = false;
     std::string error;  ///< human-readable reason when !verified
     DratCheckStats stats;
+    /// Indices into `formula.clauses` of the original clauses the certified
+    /// refutation depends on (the extracted UNSAT core), in increasing
+    /// order. Empty unless verified. stats.coreClauses == size(). Consumers
+    /// map these back to domain entities via core::ProvenanceTable.
+    std::vector<std::size_t> coreClauseIndices;
 };
 
 /// Check that `proof` certifies the unsatisfiability of `formula`.

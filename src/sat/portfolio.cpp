@@ -335,6 +335,15 @@ void PortfolioSolver::finishSolve(std::span<const Literal> assumptions,
     ++stats_.solves;
     stats_.lastWinner = winner_;
     aggregateStats();
+    // Snapshot the winner's failed-assumption core: the worker's solver
+    // overwrites its core on the next solve, but consumers (unsat-core
+    // attribution, the explanation pipeline) read it after the race ended.
+    lastCore_.clear();
+    if (status == SolveStatus::Unsat && !assumptions.empty() && winner_ >= 0) {
+        const auto& core =
+            workers_[static_cast<std::size_t>(winner_)]->solver.conflictCore();
+        lastCore_.assign(core.begin(), core.end());
+    }
     if (externalProof_ != nullptr && !proofReplayed_ && status == SolveStatus::Unsat &&
         assumptions.empty() && winner_ >= 0) {
         const Worker& worker = *workers_[static_cast<std::size_t>(winner_)];
@@ -391,11 +400,6 @@ Value PortfolioSolver::modelValue(Literal l) const {
     return workers_[static_cast<std::size_t>(winner_)]->solver.modelValue(l);
 }
 
-const std::vector<Literal>& PortfolioSolver::conflictCore() const {
-    if (winner_ < 0) {
-        return emptyCore_;
-    }
-    return workers_[static_cast<std::size_t>(winner_)]->solver.conflictCore();
-}
+const std::vector<Literal>& PortfolioSolver::conflictCore() const { return lastCore_; }
 
 }  // namespace etcs::sat

@@ -122,7 +122,10 @@ public:
     [[nodiscard]] Value modelValue(Literal l) const;
 
     /// Failed-assumption core of the winning worker after an Unsat verdict
-    /// under assumptions.
+    /// under assumptions. Snapshotted when the solve finishes, so the
+    /// reference stays valid (and the core attributable) even after the
+    /// winner's solver is reused — consumers feed it to the provenance /
+    /// explanation pipeline (core/explain.hpp).
     [[nodiscard]] const std::vector<Literal>& conflictCore() const;
 
     /// False once the clause system is unsatisfiable regardless of assumptions.
@@ -170,7 +173,7 @@ private:
     SolveStatus winnerStatus_ = SolveStatus::Unknown;
     ProofWriter* externalProof_ = nullptr;
     bool proofReplayed_ = false;
-    std::vector<Literal> emptyCore_;  ///< returned when no winner core exists
+    std::vector<Literal> lastCore_;  ///< winner's failed-assumption core snapshot
 
     // Cross-thread coordination (racing mode).
     std::atomic<bool> stop_{false};

@@ -1,8 +1,9 @@
 /// \file cli_test.cpp
 /// End-to-end exit-code and output contracts of the shipped command-line
-/// tools: etcslint, gencnf and dratcheck. Exit code conventions: 0 success
-/// (for etcslint: no error-severity findings), 1 findings / NOT VERIFIED,
-/// 2 usage or I/O error — and never partial output on failure.
+/// tools: etcslint, gencnf, dratcheck, etcs_explain and benchdiff. Exit code
+/// conventions: 0 success (for etcslint: no error-severity findings; for
+/// etcs_explain: feasible), 1 findings / NOT VERIFIED / infeasible /
+/// regressions, 2 usage or I/O error — and never partial output on failure.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
@@ -13,6 +14,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/json.hpp"
+
 #ifndef ETCS_ETCSLINT_BIN
 #error "ETCS_ETCSLINT_BIN must point at the etcslint executable"
 #endif
@@ -21,6 +24,12 @@
 #endif
 #ifndef ETCS_DRATCHECK_BIN
 #error "ETCS_DRATCHECK_BIN must point at the dratcheck executable"
+#endif
+#ifndef ETCS_EXPLAIN_BIN
+#error "ETCS_EXPLAIN_BIN must point at the etcs_explain executable"
+#endif
+#ifndef ETCS_BENCHDIFF_BIN
+#error "ETCS_BENCHDIFF_BIN must point at the benchdiff executable"
 #endif
 #ifndef ETCS_DATA_DIR
 #error "ETCS_DATA_DIR must point at the repository's data/ directory"
@@ -57,8 +66,19 @@ RunResult run(const std::string& command) {
 const std::string kLint = ETCS_ETCSLINT_BIN;
 const std::string kGencnf = ETCS_GENCNF_BIN;
 const std::string kDratcheck = ETCS_DRATCHECK_BIN;
+const std::string kExplain = ETCS_EXPLAIN_BIN;
+const std::string kBenchdiff = ETCS_BENCHDIFF_BIN;
 const std::string kData = ETCS_DATA_DIR;
 const std::string kFixtures = ETCS_FIXTURE_DIR;
+
+/// Write `content` to a per-process temp file and return its path.
+std::string writeTempFile(const std::string& stem, const std::string& content) {
+    const std::string path =
+        testing::TempDir() + stem + "." + std::to_string(::getpid());
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
 
 TEST(EtcslintCli, ShippedDataExitsZero) {
     const auto result =
@@ -148,6 +168,151 @@ TEST(DratcheckCli, InvalidDimacsExitsTwo) {
 
 TEST(DratcheckCli, UsageErrorExitsTwo) {
     EXPECT_EQ(run(kDratcheck).exitCode, 2);
+}
+
+TEST(EtcsExplainCli, FeasibleScheduleExitsZero) {
+    // SA -> SB needs 3 steps at these parameters; a 2-minute deadline
+    // (step 4) leaves slack, so there is nothing to explain.
+    const std::string sched = writeTempFile(
+        "cli_test_feasible.sched",
+        "scenario relaxed\ntrain T 120 200\nrun T from SA dep 0:00 to SB arr 0:02:00\n");
+    const auto result = run(kExplain + " " + kFixtures + "/corridor.rail " + sched +
+                            " --rs 500 --rt 30");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("feasible"), std::string::npos) << result.output;
+}
+
+TEST(EtcsExplainCli, InfeasibleScheduleEmitsReportAndExitsOne) {
+    const auto result = run(kExplain + " " + kFixtures + "/corridor.rail " + kFixtures +
+                            "/infeasible.sched --rs 500 --rt 30");
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("E101"), std::string::npos) << result.output;
+    EXPECT_NE(result.output.find("certified UNSAT core"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("train T"), std::string::npos) << result.output;
+}
+
+/// The acceptance contract of docs/EXPLAIN.md, end to end: the JSON report
+/// is deterministic, its cited entries are a subset of the certified core's
+/// provenance records, and the exported formula/proof pair is certified by
+/// the independent dratcheck binary.
+TEST(EtcsExplainCli, JsonReportIsBackedByADratCertifiedCore) {
+    const std::string stem = testing::TempDir() + "cli_test_explain." +
+                             std::to_string(::getpid());
+    const std::string jsonFile = stem + ".json";
+    const std::string cnfFile = stem + ".cnf";
+    const std::string proofFile = stem + ".drat";
+    const std::string command = kExplain + " " + kFixtures + "/corridor.rail " +
+                                kFixtures + "/infeasible.sched --rs 500 --rt 30 --json" +
+                                " --out " + jsonFile + " --cnf-out " + cnfFile +
+                                " --proof-out " + proofFile;
+    const auto result = run(command);
+    ASSERT_EQ(result.exitCode, 1) << result.output;
+
+    // The report must parse, claim certification, and cite only (train,
+    // section, step) entries backed by the certified core's records.
+    std::ifstream in(jsonFile);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const etcs::util::JsonValue root = etcs::util::parseJson(buffer.str());
+    ASSERT_TRUE(root.isObject());
+    ASSERT_NE(root.find("certified"), nullptr);
+    EXPECT_TRUE(root.find("certified")->boolean);
+    ASSERT_NE(root.find("unsat"), nullptr);
+    EXPECT_TRUE(root.find("unsat")->boolean);
+
+    const etcs::util::JsonValue* entries = root.find("entries");
+    const etcs::util::JsonValue* records = root.find("coreRecords");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_NE(records, nullptr);
+    ASSERT_GE(entries->items.size(), 2u) << "summary plus at least one citation";
+    ASSERT_FALSE(records->items.empty());
+    const auto field = [](const etcs::util::JsonValue& object, const char* name) {
+        const etcs::util::JsonValue* value = object.find(name);
+        return value == nullptr ? -2.0 : value->number;
+    };
+    for (const etcs::util::JsonValue& entry : entries->items) {
+        const etcs::util::JsonValue* family = entry.find("family");
+        ASSERT_NE(family, nullptr);
+        if (family->text.empty()) {
+            continue;  // the E101 summary cites no single record
+        }
+        bool supported = false;
+        for (const etcs::util::JsonValue& record : records->items) {
+            supported = supported ||
+                        (record.find("family")->text == family->text &&
+                         field(record, "run") == field(entry, "run") &&
+                         field(record, "ttd") == field(entry, "ttd") &&
+                         field(record, "segment") == field(entry, "segment") &&
+                         field(entry, "stepFirst") <= field(record, "step") &&
+                         field(record, "step") <= field(entry, "stepLast"));
+        }
+        EXPECT_TRUE(supported) << "uncited entry family " << family->text;
+    }
+
+    // Determinism: a second run produces a byte-identical report.
+    const std::string jsonFile2 = stem + ".2.json";
+    const auto rerun = run(kExplain + " " + kFixtures + "/corridor.rail " + kFixtures +
+                           "/infeasible.sched --rs 500 --rt 30 --json --out " + jsonFile2);
+    ASSERT_EQ(rerun.exitCode, 1) << rerun.output;
+    std::ifstream second(jsonFile2);
+    std::stringstream buffer2;
+    buffer2 << second.rdbuf();
+    EXPECT_EQ(buffer.str(), buffer2.str());
+
+    // Independent certification of the exported core's refutation.
+    const auto check = run(kDratcheck + " " + cnfFile + " " + proofFile);
+    EXPECT_EQ(check.exitCode, 0) << check.output;
+    EXPECT_NE(check.output.find("VERIFIED"), std::string::npos) << check.output;
+}
+
+TEST(EtcsExplainCli, MissingFileExitsTwo) {
+    const auto result = run(kExplain + " /nonexistent/net.rail /nonexistent/s.sched"
+                            " --rs 500 --rt 30");
+    EXPECT_EQ(result.exitCode, 2) << result.output;
+    EXPECT_NE(result.output.find("error"), std::string::npos) << result.output;
+}
+
+TEST(EtcsExplainCli, UsageErrorExitsTwo) {
+    EXPECT_EQ(run(kExplain).exitCode, 2);
+}
+
+TEST(BenchdiffCli, IdenticalFilesHaveNoRegressions) {
+    const std::string bench = writeTempFile(
+        "cli_test_bench_old.json",
+        R"({"counters":{"etcs.sat.conflicts":120},"gauges":{"table1.simple.verify.runtime_seconds":1.5},"histograms":{}})");
+    const auto result = run(kBenchdiff + " " + bench + " " + bench);
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("0 regression(s)"), std::string::npos) << result.output;
+}
+
+TEST(BenchdiffCli, FlagsRuntimeRegressionsBeyondThreshold) {
+    const std::string before = writeTempFile(
+        "cli_test_bench_before.json",
+        R"({"gauges":{"table1.simple.verify.runtime_seconds":1.0,"table1.simple.verify.variables":50}})");
+    const std::string after = writeTempFile(
+        "cli_test_bench_after.json",
+        R"({"gauges":{"table1.simple.verify.runtime_seconds":2.0,"table1.simple.verify.variables":50}})");
+    const auto result = run(kBenchdiff + " --threshold 0.25 " + before + " " + after);
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("REGRESSION"), std::string::npos) << result.output;
+    EXPECT_NE(result.output.find("runtime_seconds"), std::string::npos) << result.output;
+
+    // Within threshold, or on an unwatched metric, the diff is clean.
+    const auto reversed = run(kBenchdiff + " --threshold 0.25 " + after + " " + before);
+    EXPECT_EQ(reversed.exitCode, 0) << reversed.output;
+}
+
+TEST(BenchdiffCli, MalformedJsonExitsTwo) {
+    const std::string bad = writeTempFile("cli_test_bench_bad.json", "{not json");
+    const auto result = run(kBenchdiff + " " + bad + " " + bad);
+    EXPECT_EQ(result.exitCode, 2) << result.output;
+    EXPECT_NE(result.output.find("error"), std::string::npos) << result.output;
+}
+
+TEST(BenchdiffCli, UsageErrorExitsTwo) {
+    EXPECT_EQ(run(kBenchdiff).exitCode, 2);
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 
 #include "cnf/backend.hpp"
 #include "cnf/collect.hpp"
+#include "obs/metrics.hpp"
 #include "core/encoder.hpp"
 #include "core/instance.hpp"
 #include "core/tasks.hpp"
@@ -527,6 +528,68 @@ TEST(PortfolioBackend, TasksProduceTheSameLayoutQuality) {
     ASSERT_TRUE(viaPortfolio.feasible);
     // Both backends minimize sum border_v; the optimum is backend-agnostic.
     EXPECT_EQ(viaPortfolio.sectionCount, baseline.sectionCount);
+}
+
+// Regression: the portfolio used to expose an always-empty failed-assumption
+// core (the winner's solver state is reset by the next solve), starving the
+// provenance/explanation pipeline. The winner's core is now snapshotted at
+// the end of each Unsat solve and must survive until the next call.
+TEST(PortfolioAssumptions, WinnerCoreIsSnapshottedAndNonEmpty) {
+    // (x0 | x1) with assumptions {~x0, ~x1}: Unsat, and every failed-
+    // assumption core must name at least one of the two assumptions.
+    CnfFormula f;
+    f.numVariables = 3;
+    f.clauses.push_back({Literal::positive(0), Literal::positive(1)});
+
+    PortfolioOptions options;
+    options.numThreads = 2;
+    options.seed = 7;
+    PortfolioSolver portfolio(options);
+    for (int v = 0; v < f.numVariables; ++v) {
+        portfolio.addVariable();
+    }
+    for (const auto& clause : f.clauses) {
+        portfolio.addClause(clause);
+    }
+
+    const std::vector<Literal> assumptions{Literal::negative(0), Literal::negative(1),
+                                           Literal::negative(2)};
+    ASSERT_EQ(portfolio.solve(assumptions), SolveStatus::Unsat);
+    const std::vector<Literal> core = portfolio.conflictCore();
+    ASSERT_FALSE(core.empty());
+    for (const Literal l : core) {
+        EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l),
+                  assumptions.end())
+            << "core literal is not an assumption";
+    }
+    // The core is a real core: the formula is Unsat under the core alone.
+    EXPECT_EQ(solveReference(f, core), SolveStatus::Unsat);
+
+    // A subsequent unconstrained solve is Sat and clears the snapshot.
+    ASSERT_EQ(portfolio.solve(), SolveStatus::Sat);
+    EXPECT_TRUE(portfolio.conflictCore().empty());
+}
+
+TEST(PortfolioBackend, ExposesTheCoreAndRecordsItsSize) {
+    const auto backend = cnf::makePortfolioBackend(2);
+    for (int v = 0; v < 2; ++v) {
+        backend->addVariable();
+    }
+    backend->addClause({Literal::positive(0), Literal::positive(1)});
+
+    auto& registry = etcs::obs::Registry::global();
+    registry.gauge("etcs.sat.portfolio.core_size").set(-1.0);
+
+    const std::vector<Literal> assumptions{Literal::negative(0), Literal::negative(1)};
+    ASSERT_EQ(backend->solve(assumptions), SolveStatus::Unsat);
+    const std::vector<Literal> core = backend->conflictCore();
+    ASSERT_FALSE(core.empty());
+    for (const Literal l : core) {
+        EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l),
+                  assumptions.end());
+    }
+    EXPECT_EQ(registry.gauge("etcs.sat.portfolio.core_size").value(),
+              static_cast<double>(core.size()));
 }
 
 TEST(PortfolioBackend, ReportsItsNameAndThreadCount) {
