@@ -176,8 +176,10 @@ int main(int argc, char** argv) {
             core::Encoder encoder(collector, instance);
             const core::VssLayout pure(instance.graph());
             encoder.encode(options->pureLayout ? &pure : nullptr);
-            std::ofstream out(*options->cnfFile);
-            sat::writeDimacs(out, collector.formula());
+            if (!sat::writeDimacsFile(*options->cnfFile, collector.formula())) {
+                std::cerr << "error: cannot write " << *options->cnfFile << "\n";
+                return 2;
+            }
             std::cout << "DIMACS instance written to " << *options->cnfFile << " ("
                       << collector.numVariables() << " vars, " << collector.numClauses()
                       << " clauses, " << (options->pureLayout ? "pure-TTD" : "free")

@@ -1,0 +1,57 @@
+#include "gen/oracle.hpp"
+
+#include <algorithm>
+
+namespace etcs::gen {
+
+std::vector<sim::SimTrain> simTrainsFor(const core::Instance& instance) {
+    std::vector<sim::SimTrain> trains;
+    trains.reserve(instance.numRuns());
+    for (const core::DiscreteRun& run : instance.runs()) {
+        sim::SimTrain t;
+        t.train = run.train;
+        t.route = instance.graph().shortestPath(run.originSegment, run.destination().segment);
+        t.departureStep = run.departureStep;
+        t.lengthSegments = run.lengthSegments;
+        t.speedSegments = run.speedSegments;
+        trains.push_back(std::move(t));
+    }
+    return trains;
+}
+
+sim::SimResult simulate(const core::Instance& instance, const core::VssLayout& layout,
+                        int maxSteps) {
+    const sim::Simulator simulator(instance.graph(), layout.flags());
+    if (maxSteps <= 0) {
+        maxSteps = instance.horizonSteps();
+    }
+    return simulator.run(simTrainsFor(instance), maxSteps);
+}
+
+core::Solution solutionFromSimulation(const core::Instance& instance,
+                                      const core::VssLayout& layout,
+                                      const sim::SimResult& result) {
+    core::Solution solution{layout, {}, 0, layout.sectionCount(instance.graph())};
+    const int horizon = instance.horizonSteps();
+    solution.traces.resize(instance.numRuns());
+    for (std::size_t run = 0; run < instance.numRuns(); ++run) {
+        core::RunTrace& trace = solution.traces[run];
+        trace.occupied.resize(static_cast<std::size_t>(horizon));
+        for (int t = 0; t < horizon && t < static_cast<int>(result.timeline.size()); ++t) {
+            const auto& snapshot = result.timeline[static_cast<std::size_t>(t)][run];
+            if (!snapshot.present) {
+                continue;
+            }
+            trace.occupied[static_cast<std::size_t>(t)] = snapshot.occupied;
+            trace.lastPresentStep = t;
+        }
+        if (result.arrivalStep[run] >= 0 && result.arrivalStep[run] < horizon) {
+            trace.firstArrivalStep = result.arrivalStep[run];
+        }
+        solution.completionSteps =
+            std::max(solution.completionSteps, trace.lastPresentStep + 1);
+    }
+    return solution;
+}
+
+}  // namespace etcs::gen

@@ -1,0 +1,38 @@
+/// \file oracle.hpp
+/// Bridge between the independent simulator and the core problem model, so
+/// generated scenarios can be cross-checked differentially:
+///
+///   instance runs  ->  SimTrain routes        (simTrainsFor)
+///   sim timeline   ->  core::Solution traces  (solutionFromSimulation)
+///
+/// For trains occupying one segment (every generated train), a completed
+/// simulation converts into a Solution that passes core::validateSolution,
+/// making "greedy simulation completes" a machine-checked SAT witness.
+#pragma once
+
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/instance.hpp"
+#include "core/layout.hpp"
+#include "sim/simulator.hpp"
+
+namespace etcs::gen {
+
+/// Simulator inputs for an instance's runs, in run order: shortest-path
+/// head routes with the discretized train parameters.
+[[nodiscard]] std::vector<sim::SimTrain> simTrainsFor(const core::Instance& instance);
+
+/// Run the greedy simulator for the instance's runs on `layout`, bounded by
+/// the instance horizon when `maxSteps` is 0.
+[[nodiscard]] sim::SimResult simulate(const core::Instance& instance,
+                                      const core::VssLayout& layout, int maxSteps = 0);
+
+/// Convert a simulation into a Solution on `layout`: the timeline becomes
+/// the per-run traces (clipped to the instance horizon). The caller is
+/// responsible for only validating results of completed simulations.
+[[nodiscard]] core::Solution solutionFromSimulation(const core::Instance& instance,
+                                                    const core::VssLayout& layout,
+                                                    const sim::SimResult& result);
+
+}  // namespace etcs::gen

@@ -1,5 +1,7 @@
 #include "sat/dimacs.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -77,6 +79,21 @@ void writeDimacs(std::ostream& out, const CnfFormula& formula) {
         }
         out << "0\n";
     }
+}
+
+bool writeDimacsFile(const std::string& path, const CnfFormula& formula) {
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    writeDimacs(out, formula);
+    out.flush();
+    if (!out) {
+        out.close();
+        std::remove(path.c_str());  // never leave a truncated instance behind
+        return false;
+    }
+    return true;
 }
 
 }  // namespace etcs::sat

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sat/types.hpp"
@@ -21,5 +22,11 @@ struct CnfFormula {
 
 /// Write a formula in DIMACS CNF format.
 void writeDimacs(std::ostream& out, const CnfFormula& formula);
+
+/// Write a formula to `path`, the single emit path every tool shares (so
+/// header variable/clause counts cannot drift between emitters). Flushes
+/// and verifies the stream; on failure the partial file is removed and
+/// false is returned.
+[[nodiscard]] bool writeDimacsFile(const std::string& path, const CnfFormula& formula);
 
 }  // namespace etcs::sat

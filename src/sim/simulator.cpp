@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "util/error.hpp"
 
@@ -28,10 +29,8 @@ SimResult Simulator::run(std::span<const SimTrain> trains, int maxSteps) const {
     result.arrivalStep.assign(trains.size(), -1);
 
     // headIndex[i]: index into route of the head segment; -1 before
-    // departure; route.size() once arrived (train removed).
+    // departure; route.size() once removed (the step after arrival).
     std::vector<int> headIndex(trains.size(), -1);
-    // Occupancy: which train occupies each VSS section (-1: free).
-    std::vector<int> sectionOwner(static_cast<std::size_t>(numSections_), -1);
 
     auto occupiedSegments = [&](std::size_t i) {
         std::vector<SegmentId> segs;
@@ -46,82 +45,157 @@ SimResult Simulator::run(std::span<const SimTrain> trains, int maxSteps) const {
         return segs;
     };
 
-    auto recomputeOwners = [&] {
-        std::fill(sectionOwner.begin(), sectionOwner.end(), -1);
-        for (std::size_t i = 0; i < trains.size(); ++i) {
-            for (SegmentId s : occupiedSegments(i)) {
-                sectionOwner[static_cast<std::size_t>(sectionOf(s))] = static_cast<int>(i);
-            }
+    auto occupiedAtHead = [&](std::size_t i, int head) {
+        std::vector<SegmentId> segs;
+        const int tail = std::max(0, head - trains[i].lengthSegments + 1);
+        for (int p = head; p >= tail; --p) {
+            segs.push_back(trains[i].route[static_cast<std::size_t>(p)]);
         }
+        return segs;
     };
 
-    auto arrived = [&](std::size_t i) {
-        return headIndex[i] >= static_cast<int>(trains[i].route.size());
+    // Section ownership at the end of the previous step and the claims
+    // accumulated during the current one (-1: free).
+    std::vector<int> prevOwner(static_cast<std::size_t>(numSections_), -1);
+    std::vector<int> curOwner(static_cast<std::size_t>(numSections_), -1);
+
+    auto freeOrSelf = [&](const std::vector<int>& owner, int section, std::size_t i) {
+        const int o = owner[static_cast<std::size_t>(section)];
+        return o < 0 || o == static_cast<int>(i);
     };
 
-    for (int step = 0; step < maxSteps; ++step) {
-        bool anyProgress = false;
-
-        // Departures: a train enters when its entry section is free. Like
-        // the SAT encoding, an entering train occupies its origin for the
-        // whole departure step and starts moving the step after.
-        std::vector<char> enteredThisStep(trains.size(), 0);
-        for (std::size_t i = 0; i < trains.size(); ++i) {
-            if (headIndex[i] == -1 && trains[i].departureStep <= step) {
-                const SegmentId entry = trains[i].route.front();
-                const int section = sectionOf(entry);
-                if (sectionOwner[static_cast<std::size_t>(section)] < 0) {
-                    headIndex[i] = 0;
-                    enteredThisStep[i] = 1;
-                    recomputeOwners();
-                    anyProgress = true;
-                    if (trains[i].route.size() == 1) {
-                        // Origin and destination coincide: arrive on entry.
-                        result.arrivalStep[i] = step;
-                        headIndex[i] = 1;
-                        recomputeOwners();
+    // The corridor a train sweeps when its occupancy changes from `now` to
+    // `next`: every simple path between an old and a new segment at hop
+    // distance 1..speed, mirroring the validator's no-pass-through rule.
+    auto corridorSections = [&](std::size_t i, const std::vector<SegmentId>& now,
+                                const std::vector<SegmentId>& next) {
+        std::set<int> out;
+        for (SegmentId e : now) {
+            for (SegmentId f : next) {
+                const int d = graph_->distance(e, f);
+                if (d < 1 || d > trains[i].speedSegments) {
+                    continue;
+                }
+                for (const auto& path : graph_->simplePaths(e, f, trains[i].speedSegments + 1)) {
+                    for (SegmentId s : path) {
+                        out.insert(sectionOf(s));
                     }
                 }
             }
         }
+        for (SegmentId s : next) {
+            out.insert(sectionOf(s));
+        }
+        return out;
+    };
 
-        // Movements, in priority (index) order.
+    for (int step = 0; step < maxSteps; ++step) {
+        // Ownership at the end of the previous step (trains that arrived
+        // last step still hold their destination there).
+        std::fill(prevOwner.begin(), prevOwner.end(), -1);
         for (std::size_t i = 0; i < trains.size(); ++i) {
-            if (headIndex[i] < 0 || arrived(i) || enteredThisStep[i] != 0) {
+            for (SegmentId s : occupiedSegments(i)) {
+                prevOwner[static_cast<std::size_t>(sectionOf(s))] = static_cast<int>(i);
+            }
+        }
+
+        bool anyProgress = false;
+
+        // Remove trains that arrived on an earlier step: they occupied their
+        // destination through the arrival step and leave the network now.
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+            if (result.arrivalStep[i] >= 0 && result.arrivalStep[i] < step &&
+                headIndex[i] < static_cast<int>(trains[i].route.size())) {
+                headIndex[i] = static_cast<int>(trains[i].route.size());
+                anyProgress = true;  // freed sections may unblock others
+            }
+        }
+
+        // All claims are resolved synchronously against prevOwner (positions
+        // at step-1) and curOwner (claims made this step), so the resulting
+        // trace satisfies VSS exclusivity and the encoding's conservative
+        // no-pass-through rule at every pair of consecutive steps.
+        std::fill(curOwner.begin(), curOwner.end(), -1);
+        std::vector<char> enteredThisStep(trains.size(), 0);
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+            for (SegmentId s : occupiedSegments(i)) {
+                curOwner[static_cast<std::size_t>(sectionOf(s))] = static_cast<int>(i);
+            }
+        }
+
+        // Departures, in priority (index) order: a train enters when its
+        // origin section was free last step (nobody swept it) and is
+        // unclaimed this step.
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+            if (headIndex[i] != -1 || trains[i].departureStep > step) {
+                continue;
+            }
+            const int section = sectionOf(trains[i].route.front());
+            if (prevOwner[static_cast<std::size_t>(section)] >= 0 ||
+                curOwner[static_cast<std::size_t>(section)] >= 0) {
+                continue;
+            }
+            headIndex[i] = 0;
+            curOwner[static_cast<std::size_t>(section)] = static_cast<int>(i);
+            enteredThisStep[i] = 1;
+            anyProgress = true;
+            if (trains[i].route.size() == 1) {
+                // Origin and destination coincide: arrive on entry.
+                result.arrivalStep[i] = step;
+            }
+        }
+
+        // Movements, in priority (index) order. A move of k segments is
+        // admissible when the new occupancy and the whole swept corridor are
+        // free (or the train's own) both last step and among this step's
+        // claims; the mover then claims the corridor so no later train can
+        // cross it.
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+            if (headIndex[i] < 0 || enteredThisStep[i] != 0 || result.arrivalStep[i] >= 0 ||
+                headIndex[i] >= static_cast<int>(trains[i].route.size())) {
                 continue;
             }
             const auto& route = trains[i].route;
+            const auto now = occupiedSegments(i);
             int advance = 0;
+            std::set<int> claim;
             for (int k = 1; k <= trains[i].speedSegments; ++k) {
-                const int nextIndex = headIndex[i] + k;
-                if (nextIndex >= static_cast<int>(route.size())) {
+                const int nextHead = headIndex[i] + k;
+                if (nextHead >= static_cast<int>(route.size())) {
                     break;  // cannot move beyond the destination this step
                 }
-                const int section = sectionOf(route[static_cast<std::size_t>(nextIndex)]);
-                const int owner = sectionOwner[static_cast<std::size_t>(section)];
-                if (owner >= 0 && owner != static_cast<int>(i)) {
+                const auto next = occupiedAtHead(i, nextHead);
+                const auto sections = corridorSections(i, now, next);
+                const bool admissible =
+                    std::all_of(sections.begin(), sections.end(), [&](int section) {
+                        return freeOrSelf(prevOwner, section, i) &&
+                               freeOrSelf(curOwner, section, i);
+                    });
+                if (!admissible) {
                     break;  // movement authority ends at an occupied VSS
                 }
                 advance = k;
+                claim = sections;
             }
             if (advance > 0) {
                 headIndex[i] += advance;
-                recomputeOwners();
+                for (int section : claim) {
+                    curOwner[static_cast<std::size_t>(section)] = static_cast<int>(i);
+                }
                 anyProgress = true;
             }
-            // Arrival: head on the destination segment -> leave the network.
+            // Arrival: head on the destination segment. The train keeps
+            // occupying it for this step and leaves the step after.
             if (headIndex[i] == static_cast<int>(route.size()) - 1) {
                 result.arrivalStep[i] = step;
-                headIndex[i] = static_cast<int>(route.size());
-                recomputeOwners();
-                anyProgress = true;
             }
         }
 
         // Record the timeline after this step's movements.
         std::vector<TrainSnapshot> snapshots(trains.size());
         for (std::size_t i = 0; i < trains.size(); ++i) {
-            snapshots[i].present = headIndex[i] >= 0 && !arrived(i);
+            snapshots[i].present =
+                headIndex[i] >= 0 && headIndex[i] < static_cast<int>(trains[i].route.size());
             snapshots[i].occupied = occupiedSegments(i);
         }
         result.timeline.push_back(std::move(snapshots));

@@ -1,13 +1,17 @@
 /// \file simulator.hpp
 /// A discrete-time ETCS Level 3 movement-authority simulator.
 ///
-/// Trains follow fixed segment routes. Each time step, in priority order, a
-/// train extends its movement authority through consecutive VSS sections
-/// that contain no other train and advances its head by at most its speed.
-/// The simulator is deliberately independent of the SAT encoding: it serves
-/// as an oracle in tests (a greedy simulation that completes in time proves
-/// the corresponding verification instance satisfiable) and lets examples
-/// animate generated layouts.
+/// Trains follow fixed segment routes. Steps are synchronous: within a step
+/// every train resolves its move against the section ownership at the end of
+/// the previous step plus the claims made so far this step (in priority
+/// order), and a moving train claims its whole swept corridor. A train
+/// occupies its destination on its arrival step and leaves the network the
+/// step after. These rules are at least as strict as the SAT encoding's
+/// occupancy, exclusivity, and no-pass-through constraints, so for trains of
+/// one segment length a completed simulation is a witness: its timeline
+/// converts into a `core::Solution` that passes `core::validateSolution`
+/// (see `gen/oracle.hpp`). The simulator shares no code with the encoder,
+/// which makes it an independent differential oracle in tests.
 #pragma once
 
 #include <span>

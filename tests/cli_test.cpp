@@ -1,9 +1,11 @@
 /// \file cli_test.cpp
 /// End-to-end exit-code and output contracts of the shipped command-line
-/// tools: etcslint, gencnf, dratcheck, etcs_explain and benchdiff. Exit code
-/// conventions: 0 success (for etcslint: no error-severity findings; for
-/// etcs_explain: feasible), 1 findings / NOT VERIFIED / infeasible /
-/// regressions, 2 usage or I/O error — and never partial output on failure.
+/// tools: etcslint, gencnf, dratcheck, etcs_explain, benchdiff, etcsgen and
+/// etcs_cli (the latter two over the frozen generated corpus in
+/// tests/fixtures/gen/, see docs/GENERATOR.md). Exit code conventions:
+/// 0 success (for etcslint: no error-severity findings; for etcs_explain:
+/// feasible), 1 findings / NOT VERIFIED / infeasible / regressions, 2 usage
+/// or I/O error — and never partial output on failure.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
@@ -30,6 +32,12 @@
 #endif
 #ifndef ETCS_BENCHDIFF_BIN
 #error "ETCS_BENCHDIFF_BIN must point at the benchdiff executable"
+#endif
+#ifndef ETCS_ETCSGEN_BIN
+#error "ETCS_ETCSGEN_BIN must point at the etcsgen executable"
+#endif
+#ifndef ETCS_CLI_BIN
+#error "ETCS_CLI_BIN must point at the etcs_cli executable"
 #endif
 #ifndef ETCS_DATA_DIR
 #error "ETCS_DATA_DIR must point at the repository's data/ directory"
@@ -68,6 +76,8 @@ const std::string kGencnf = ETCS_GENCNF_BIN;
 const std::string kDratcheck = ETCS_DRATCHECK_BIN;
 const std::string kExplain = ETCS_EXPLAIN_BIN;
 const std::string kBenchdiff = ETCS_BENCHDIFF_BIN;
+const std::string kEtcsgen = ETCS_ETCSGEN_BIN;
+const std::string kEtcsCli = ETCS_CLI_BIN;
 const std::string kData = ETCS_DATA_DIR;
 const std::string kFixtures = ETCS_FIXTURE_DIR;
 
@@ -313,6 +323,117 @@ TEST(BenchdiffCli, MalformedJsonExitsTwo) {
 
 TEST(BenchdiffCli, UsageErrorExitsTwo) {
     EXPECT_EQ(run(kBenchdiff).exitCode, 2);
+}
+
+TEST(EtcsgenCli, TwoRunsAreByteIdenticalForEveryFamily) {
+    // The reproducibility headline: identical parameters must reproduce
+    // identical bytes for every family x schedule-kind combination.
+    const std::string stem = testing::TempDir() + "cli_test_gen." +
+                             std::to_string(::getpid());
+    ASSERT_EQ(run("mkdir -p " + stem + ".1 " + stem + ".2").exitCode, 0);
+    const std::string flags = " --family all --schedule all --seed 5 --out ";
+    ASSERT_EQ(run(kEtcsgen + flags + stem + ".1").exitCode, 0);
+    ASSERT_EQ(run(kEtcsgen + flags + stem + ".2").exitCode, 0);
+    const auto diff = run("diff -r " + stem + ".1 " + stem + ".2");
+    EXPECT_EQ(diff.exitCode, 0) << diff.output;
+}
+
+TEST(EtcsgenCli, DimacsExportCarriesHeaderAndManifestParses) {
+    const std::string dir = testing::TempDir() + "cli_test_gen_cnf." +
+                            std::to_string(::getpid());
+    ASSERT_EQ(run("mkdir -p " + dir).exitCode, 0);
+    const auto result =
+        run(kEtcsgen + " --family corridor --seed 42 --dimacs --out " + dir);
+    ASSERT_EQ(result.exitCode, 0) << result.output;
+
+    std::ifstream cnf(dir + "/corridor_s42_n3_t2_feasible.cnf");
+    ASSERT_TRUE(cnf.is_open());
+    std::string token;
+    cnf >> token;
+    EXPECT_TRUE(token == "c" || token == "p") << "DIMACS must start with a header";
+
+    std::ifstream manifest(dir + "/corridor_s42_n3_t2_feasible.json");
+    ASSERT_TRUE(manifest.is_open());
+    std::stringstream buffer;
+    buffer << manifest.rdbuf();
+    const etcs::util::JsonValue root = etcs::util::parseJson(buffer.str());
+    ASSERT_TRUE(root.isObject());
+    ASSERT_NE(root.find("seed"), nullptr);
+    EXPECT_EQ(root.find("seed")->number, 42.0);
+    ASSERT_NE(root.find("family"), nullptr);
+    EXPECT_EQ(root.find("family")->text, "corridor");
+}
+
+TEST(EtcsgenCli, UnknownFamilyExitsTwo) {
+    const auto result = run(kEtcsgen + " --family motorway --seed 1");
+    EXPECT_EQ(result.exitCode, 2) << result.output;
+    EXPECT_NE(result.output.find("unknown family"), std::string::npos) << result.output;
+}
+
+TEST(EtcsgenCli, MissingRequiredFlagsExitsTwo) {
+    EXPECT_EQ(run(kEtcsgen).exitCode, 2);
+    EXPECT_EQ(run(kEtcsgen + " --family corridor").exitCode, 2);
+}
+
+TEST(EtcsgenCli, UnwritableOutputExitsTwo) {
+    const auto result =
+        run(kEtcsgen + " --family corridor --seed 1 --out /nonexistent_dir");
+    EXPECT_EQ(result.exitCode, 2) << result.output;
+    EXPECT_NE(result.output.find("error"), std::string::npos) << result.output;
+}
+
+TEST(EtcsCliGenCorpus, FeasibleInstancesVerifyWithExitZero) {
+    for (const char* name :
+         {"corridor_s42_n3_t2_feasible", "station_s42_n3_t2_feasible",
+          "single_track_s42_n3_t2_feasible", "network_s42_n3_t2_feasible"}) {
+        SCOPED_TRACE(name);
+        const std::string base = kFixtures + "/gen/" + name;
+        const auto result = run(kEtcsCli + " verify " + base + ".rail " + base +
+                                ".sched --rs 500 --rt 60");
+        EXPECT_EQ(result.exitCode, 0) << result.output;
+        EXPECT_NE(result.output.find("FEASIBLE"), std::string::npos) << result.output;
+    }
+}
+
+TEST(EtcsCliGenCorpus, InfeasibleInstancesExitOne) {
+    for (const char* name :
+         {"corridor_s42_n3_t2_infeasible", "station_s42_n3_t2_infeasible",
+          "ring_s42_n3_t2_infeasible", "network_s42_n3_t2_infeasible"}) {
+        SCOPED_TRACE(name);
+        const std::string base = kFixtures + "/gen/" + name;
+        const auto result = run(kEtcsCli + " verify " + base + ".rail " + base +
+                                ".sched --rs 500 --rt 60");
+        EXPECT_EQ(result.exitCode, 1) << result.output;
+        EXPECT_NE(result.output.find("INFEASIBLE"), std::string::npos) << result.output;
+    }
+}
+
+TEST(EtcslintCli, GenInfeasibleCorpusIsProvenByL024) {
+    const std::string base = kFixtures + "/gen/ring_s42_n3_t2_infeasible";
+    const auto result = run(kLint + " --rs 500 --rt 60 " + base + ".rail " + base +
+                            ".sched");
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("L024"), std::string::npos) << result.output;
+    EXPECT_NE(result.output.find("proven infeasible (no SAT solver required)"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(EtcslintCli, GenFeasibleCorpusIsClean) {
+    const std::string base = kFixtures + "/gen/corridor_s42_n3_t2_feasible";
+    const auto result = run(kLint + " --rs 500 --rt 60 " + base + ".rail " + base +
+                            ".sched");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("clean"), std::string::npos) << result.output;
+}
+
+TEST(EtcsExplainCli, GenInfeasibleCorpusGetsACertifiedExplanation) {
+    const std::string base = kFixtures + "/gen/network_s42_n3_t2_infeasible";
+    const auto result = run(kExplain + " " + base + ".rail " + base +
+                            ".sched --rs 500 --rt 60");
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("certified UNSAT core"), std::string::npos)
+        << result.output;
 }
 
 }  // namespace

@@ -99,9 +99,10 @@ TEST_P(CorridorPropertyTest, SimulatorWitnessImpliesSat) {
     const auto optimization = optimizeSchedule(open);
     ASSERT_TRUE(optimization.feasible)
         << "simulator found a witness but the optimizer reported infeasible";
-    // Note: the greedy simulator is not bound by the encoding's conservative
-    // one-step headway (C4), so it can be faster; but the optimizer must at
-    // least finish within the horizon, which we already asserted.
+    // The synchronous simulator is at least as strict as the encoding
+    // (exclusivity, one-step headway, no pass-through), so a completed
+    // simulation always has a SAT counterpart; gen_fuzz_test additionally
+    // validates the simulated timeline itself as a solution.
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, CorridorPropertyTest,

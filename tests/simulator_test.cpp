@@ -121,8 +121,14 @@ TEST(Simulator, TimelineMatchesArrivals) {
     SimTrain train{TrainId(0u), f.fullRoute(), 0, 1, 2};
     const auto result = sim.run({&train, 1}, 20);
     ASSERT_TRUE(result.completed);
-    // After its arrival step the train is no longer present.
-    for (int step = result.arrivalStep[0]; step < result.stepsSimulated; ++step) {
+    // The train occupies its destination on the arrival step itself (so the
+    // timeline is a valid witness for the encoding's pinned arrivals) ...
+    const auto& atArrival =
+        result.timeline[static_cast<std::size_t>(result.arrivalStep[0])][0];
+    ASSERT_TRUE(atArrival.present);
+    EXPECT_EQ(atArrival.occupied.front(), train.route.back());
+    // ... and is no longer present afterwards.
+    for (int step = result.arrivalStep[0] + 1; step < result.stepsSimulated; ++step) {
         EXPECT_FALSE(result.timeline[static_cast<std::size_t>(step)][0].present);
     }
 }

@@ -129,12 +129,10 @@ int main(int argc, char** argv) {
             instance, options->pureLayout ? &pure : nullptr, explainOptions);
 
         if (options->cnfFile) {
-            std::ofstream out(*options->cnfFile);
-            if (!out) {
+            if (!sat::writeDimacsFile(*options->cnfFile, result.formula)) {
                 std::cerr << "error: cannot write " << *options->cnfFile << "\n";
                 return 2;
             }
-            sat::writeDimacs(out, result.formula);
         }
         if (options->proofFile) {
             std::ofstream out(*options->proofFile);

@@ -7,8 +7,6 @@
 /// With --unsat, additionally pins "all trains done" one step before the
 /// completion lower bound, which makes the formula unsatisfiable — the
 /// resulting (formula, proof) pairs exercise the proof pipeline in CI.
-#include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -74,17 +72,8 @@ int main(int argc, char** argv) {
             backend.addUnit(encoder.doneAllLiteral(bound - 1));
         }
 
-        std::ofstream out(positional[1]);
-        if (!out) {
-            std::cerr << "error: cannot open " << positional[1] << "\n";
-            return 2;
-        }
         const etcs::sat::CnfFormula formula = backend.formula();
-        etcs::sat::writeDimacs(out, formula);
-        out.flush();
-        if (!out) {
-            out.close();
-            std::remove(positional[1].c_str());
+        if (!etcs::sat::writeDimacsFile(positional[1], formula)) {
             std::cerr << "error: writing " << positional[1]
                       << " failed; partial output removed\n";
             return 2;
