@@ -5,10 +5,14 @@
 ///   * train count,
 ///   * spatial/temporal resolution on the running example.
 /// Printed as tables in the spirit of Table I.
+#include <algorithm>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "cnf/backend.hpp"
+#include "core/encoder.hpp"
 #include "core/instance.hpp"
 #include "core/tasks.hpp"
 #include "obs/metrics.hpp"
@@ -162,14 +166,98 @@ void portfolioScaling() {
     std::cout << "\n";
 }
 
+/// Encode `instance` once (no solving) and return its per-family counts.
+std::vector<core::FamilyCounts> encodeOnly(const core::Instance& instance,
+                                           bool pruneUnreachable) {
+    const auto backend = cnf::makeInternalBackend();
+    core::EncoderOptions options;
+    options.pruneUnreachable = pruneUnreachable;
+    core::Encoder encoder(*backend, instance, options);
+    encoder.encode(nullptr);
+    return {encoder.familyCounts().begin(), encoder.familyCounts().end()};
+}
+
+void pruningScaling() {
+    std::cout << "S1e: reachability pruning effectiveness (encode-only, per constraint\n"
+                 "     family, full vs. EncoderOptions::pruneUnreachable;\n"
+                 "     see docs/REACHABILITY.md)\n\n";
+    const struct {
+        const char* name;
+        studies::CaseStudy study;
+    } cases[] = {{"running_example", studies::runningExample()},
+                 {"corridor_s4_t3", studies::corridor(4, 3, Meters::fromKilometers(2.0),
+                                                      Resolution{Meters(500), Seconds(60)})},
+                 {"nordlandsbanen", studies::nordlandsbanen()}};
+    auto& registry = obs::Registry::global();
+    for (const auto& c : cases) {
+        const core::Instance instance(c.study.network, c.study.trains, c.study.timedSchedule,
+                                      c.study.resolution);
+        const auto full = encodeOnly(instance, false);
+        const auto pruned = encodeOnly(instance, true);
+        std::cout << c.name << " (" << instance.graph().numSegments() << " segments, "
+                  << instance.horizonSteps() << " steps)\n"
+                  << std::right << std::setw(20) << "family" << std::setw(12) << "vars full"
+                  << std::setw(12) << "vars prune" << std::setw(13) << "clauses full"
+                  << std::setw(14) << "clauses prune" << std::setw(9) << "drop[%]" << "\n";
+        for (const core::FamilyCounts& before : full) {
+            const auto it = std::find_if(pruned.begin(), pruned.end(),
+                                         [&](const core::FamilyCounts& after) {
+                                             return after.family == before.family;
+                                         });
+            const core::FamilyCounts after =
+                it != pruned.end() ? *it : core::FamilyCounts{before.family, 0, 0};
+            const double drop =
+                before.clauses > 0
+                    ? 100.0 * (1.0 - static_cast<double>(after.clauses) /
+                                         static_cast<double>(before.clauses))
+                    : 0.0;
+            const std::string family(before.family);
+            const std::string prefix = "scaling.pruning." + std::string(c.name) + "." + family;
+            registry.gauge(prefix + ".variables_full").set(before.variables);
+            registry.gauge(prefix + ".variables_pruned").set(after.variables);
+            registry.gauge(prefix + ".clauses_full").set(static_cast<double>(before.clauses));
+            registry.gauge(prefix + ".clauses_pruned").set(static_cast<double>(after.clauses));
+            std::cout << std::setw(20) << family << std::setw(12) << before.variables
+                      << std::setw(12) << after.variables << std::setw(13) << before.clauses
+                      << std::setw(14) << after.clauses << std::setw(9) << std::fixed
+                      << std::setprecision(1) << drop << "\n";
+        }
+        std::cout << "\n";
+    }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    // With arguments, run only the named series (corridor, trains,
+    // resolution, portfolio, pruning) — used by CI to smoke single series.
+    const auto selected = [&](const char* series) {
+        if (argc <= 1) {
+            return true;
+        }
+        for (int i = 1; i < argc; ++i) {
+            if (series == std::string(argv[i])) {
+                return true;
+            }
+        }
+        return false;
+    };
     std::cout << "SCALING STUDY (extension to the paper's evaluation)\n\n";
-    corridorScaling();
-    trainScaling();
-    resolutionScaling();
-    portfolioScaling();
+    if (selected("corridor")) {
+        corridorScaling();
+    }
+    if (selected("trains")) {
+        trainScaling();
+    }
+    if (selected("resolution")) {
+        resolutionScaling();
+    }
+    if (selected("portfolio")) {
+        portfolioScaling();
+    }
+    if (selected("pruning")) {
+        pruningScaling();
+    }
     const char* metricsFile = "BENCH_scaling.json";
     if (obs::Registry::global().writeJsonFile(metricsFile)) {
         std::cout << "metrics written to " << metricsFile << "\n";

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cnf/backend.hpp"
+#include "core/encoder.hpp"
 #include "core/instance.hpp"
 #include "core/layout.hpp"
 #include "core/tasks.hpp"
@@ -89,6 +90,26 @@ void recordResult(const std::string& instanceName, const std::string& backendNam
     registry.gauge(prefix + "runtime_seconds").set(result.stats.runtimeSeconds);
 }
 
+/// Encode the instance twice (reachability pruning off/on, no solving) and
+/// record the before/after formula size under suite.<instance>.pruning.*.
+/// The gauges are deterministic, so the benchdiff threshold-0 determinism
+/// gate guards the pruning effectiveness against silent regression.
+void recordPruning(const std::string& instanceName, const core::Instance& instance) {
+    auto& registry = obs::Registry::global();
+    const std::string prefix = "suite." + instanceName + ".pruning.";
+    for (const bool prune : {false, true}) {
+        const auto backend = cnf::makeInternalBackend();
+        core::EncoderOptions options;
+        options.pruneUnreachable = prune;
+        core::Encoder encoder(*backend, instance, options);
+        encoder.encode(nullptr);
+        const char* suffix = prune ? "_pruned" : "_full";
+        registry.gauge(prefix + "variables" + suffix).set(backend->numVariables());
+        registry.gauge(prefix + "clauses" + suffix)
+            .set(static_cast<double>(backend->numClauses()));
+    }
+}
+
 }  // namespace
 
 int main() {
@@ -114,6 +135,7 @@ int main() {
             const core::Instance instance(scenario.network, scenario.trains,
                                           scenario.schedule, params.resolution);
             const auto finest = core::VssLayout::finest(instance.graph());
+            recordPruning(scenario.name, instance);
 
             std::optional<bool> agreed;
             for (const BackendSpec& spec : specs) {

@@ -53,19 +53,26 @@ bool Encoder::inCone(std::size_t run, SegmentId segment, int step) const {
 void Encoder::createOccupiesVariables() {
     const auto& graph = instance_->graph();
     const int horizon = instance_->horizonSteps();
+    std::uint64_t prunedCells = 0;
     occ_.assign(instance_->numRuns(), {});
     for (std::size_t run = 0; run < instance_->numRuns(); ++run) {
         occ_[run].assign(static_cast<std::size_t>(horizon),
                          std::vector<Literal>(graph.numSegments()));
         for (int t = 0; t < horizon; ++t) {
             for (std::size_t s = 0; s < graph.numSegments(); ++s) {
-                if (inCone(run, SegmentId(s), t)) {
-                    occ_[run][static_cast<std::size_t>(t)][s] =
-                        Literal::positive(backend_->addVariable());
+                if (!inCone(run, SegmentId(s), t)) {
+                    continue;
                 }
+                if (prune_ && !prune_->possible(run, SegmentId(s), t)) {
+                    ++prunedCells;  // cone-admitted, window-excluded
+                    continue;
+                }
+                occ_[run][static_cast<std::size_t>(t)][s] =
+                    Literal::positive(backend_->addVariable());
             }
         }
     }
+    obs::Registry::global().counter("etcs.encoder.pruned.cells").add(prunedCells);
 }
 
 void Encoder::createDoneVariables() {
@@ -127,6 +134,11 @@ void Encoder::encode(const VssLayout* fixedLayout) {
     doneAll_.assign(static_cast<std::size_t>(instance_->horizonSteps()), Literal{});
 
     const obs::Span span("encode");
+    if (options_.pruneUnreachable) {
+        const obs::Span reachSpan("encode.reach");
+        prune_.emplace(*instance_);
+        prune_->recordMetrics();
+    }
     measured("occupies_vars", [&] { createOccupiesVariables(); });
     measured("done_vars", [&] { createDoneVariables(); });
     measured("border_vars", [&] { createBorderVariables(fixedLayout); });
@@ -537,6 +549,24 @@ void Encoder::encodePassThrough(std::size_t mover) {
         const auto& occNow = occ_[mover][static_cast<std::size_t>(t)];
         const auto& occNext = occ_[mover][static_cast<std::size_t>(t) + 1];
 
+        // A sweep variable for segment g only matters if some other run can
+        // stand on g at t or t+1; otherwise it is a pure literal (it would
+        // occur only positively, in its defining clauses) and both it and
+        // those clauses can be dropped without changing satisfiability.
+        std::vector<char> contested(numSegments, 0);
+        for (std::size_t other = 0; other < instance_->numRuns(); ++other) {
+            if (other == mover) {
+                continue;
+            }
+            const auto& otherNow = occ_[other][static_cast<std::size_t>(t)];
+            const auto& otherNext = occ_[other][static_cast<std::size_t>(t) + 1];
+            for (std::size_t g = 0; g < numSegments; ++g) {
+                if (otherNow[g].valid() || otherNext[g].valid()) {
+                    contested[g] = 1;
+                }
+            }
+        }
+
         // sweep[g]: this run's movement between t and t+1 covers segment g.
         std::vector<Literal> sweep(numSegments);
         for (std::size_t e = 0; e < numSegments; ++e) {
@@ -554,6 +584,9 @@ void Encoder::encodePassThrough(std::size_t mover) {
                 // A move of distance d traverses d+1 segments including both
                 // endpoints, hence the +1 on the path-length bound.
                 for (SegmentId g : pathUnion(SegmentId(e), SegmentId(f), r.speedSegments + 1)) {
+                    if (contested[g.get()] == 0) {
+                        continue;
+                    }
                     if (!sweep[g.get()].valid()) {
                         sweep[g.get()] = Literal::positive(backend_->addVariable());
                     }

@@ -31,6 +31,7 @@
 #include "core/instance.hpp"
 #include "core/layout.hpp"
 #include "core/provenance.hpp"
+#include "core/pruning.hpp"
 
 namespace etcs::core {
 
@@ -40,6 +41,10 @@ using cnf::SatBackend;
 struct EncoderOptions {
     cnf::AmoEncoding amoEncoding = cnf::AmoEncoding::Sequential;
     bool pruneWithCones = true;       ///< restrict occupies vars to reachability cones
+    bool pruneUnreachable = true;     ///< additionally drop cells the fixpoint
+                                      ///< reachability analysis excludes
+                                      ///< (lint/reach.hpp, docs/REACHABILITY.md);
+                                      ///< verdict- and objective-preserving
     bool encodePassThrough = true;    ///< emit C4 (ablation toggle; unsafe to disable
                                       ///< except for measurements)
     bool trackProvenance = false;     ///< record a clause provenance side-table
@@ -158,6 +163,7 @@ private:
     const Instance* instance_;
     EncoderOptions options_;
     bool encoded_ = false;
+    std::optional<PruneTable> prune_;  ///< built by encode() when pruneUnreachable
 
     // occ_[run][t][segment]: literal or invalid (constant false).
     std::vector<std::vector<std::vector<Literal>>> occ_;

@@ -1,0 +1,50 @@
+#include "core/pruning.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace etcs::core {
+
+namespace {
+
+lint::ReachAnalysis buildAnalysis(const Instance& instance) {
+    std::vector<lint::ReachRun> runs;
+    runs.reserve(instance.numRuns());
+    for (const DiscreteRun& run : instance.runs()) {
+        lint::ReachRun r;
+        r.originSegment = run.originSegment;
+        r.departureStep = run.departureStep;
+        r.lengthSegments = run.lengthSegments;
+        r.speedSegments = run.speedSegments;
+        r.stops.reserve(run.stops.size());
+        for (const DiscreteStop& stop : run.stops) {
+            r.stops.push_back(lint::ReachStop{stop.segment, stop.arrivalStep, stop.dwellSteps});
+        }
+        runs.push_back(std::move(r));
+    }
+    return lint::ReachAnalysis(instance.graph(), std::move(runs), instance.horizonSteps());
+}
+
+}  // namespace
+
+PruneTable::PruneTable(const Instance& instance) : analysis_(buildAnalysis(instance)) {}
+
+void PruneTable::recordMetrics() const {
+    auto& registry = obs::Registry::global();
+    registry.counter("etcs.reach.runs").add(analysis_.numRuns());
+    registry.counter("etcs.reach.iterations").add(analysis_.iterations());
+    registry.counter("etcs.reach.violations").add(analysis_.violations().size());
+    registry.counter("etcs.reach.cells.possible").add(analysis_.possibleCells());
+    registry.counter("etcs.reach.cells.total").add(analysis_.totalCells());
+    std::uint64_t promptRuns = 0;
+    for (std::size_t run = 0; run < analysis_.numRuns(); ++run) {
+        if (analysis_.promptCutoff(run)) {
+            ++promptRuns;
+        }
+    }
+    registry.counter("etcs.reach.prompt_cutoff_runs").add(promptRuns);
+}
+
+}  // namespace etcs::core

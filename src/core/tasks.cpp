@@ -40,18 +40,33 @@ bool lintRejects(const Instance& instance, const TaskOptions& options, const cha
     lint::LintReport report;
     lint::lintSchedule(instance.graph(), instance.trains(), instance.schedule(), report);
     report.recordMetrics();
-    if (!report.hasErrors()) {
-        return false;
+    if (report.hasErrors()) {
+        obs::Registry::global()
+            .counter(std::string("etcs.task.") + task + ".lint_rejected")
+            .increment();
+        if (obs::logEnabled(obs::LogLevel::Info)) {
+            obs::log(obs::LogLevel::Info, "task", task,
+                     ",\"lint_rejected\":true,\"errors\":" +
+                         std::to_string(report.count(lint::Severity::Error)));
+        }
+        return true;
     }
-    obs::Registry::global()
-        .counter(std::string("etcs.task.") + task + ".lint_rejected")
-        .increment();
-    if (obs::logEnabled(obs::LogLevel::Info)) {
-        obs::log(obs::LogLevel::Info, "task", task,
-                 ",\"lint_rejected\":true,\"errors\":" +
-                     std::to_string(report.count(lint::Severity::Error)));
+    // Second, stronger gate: the fixpoint reachability analysis refutes
+    // schedules the shortest-path bounds miss (R-codes, lint/reach.hpp) and
+    // is equally sound w.r.t. the encoding.
+    const PruneTable reach(instance);
+    if (reach.provablyInfeasible()) {
+        obs::Registry::global()
+            .counter(std::string("etcs.task.") + task + ".reach_rejected")
+            .increment();
+        if (obs::logEnabled(obs::LogLevel::Info)) {
+            obs::log(obs::LogLevel::Info, "task", task,
+                     ",\"reach_rejected\":true,\"violations\":" +
+                         std::to_string(reach.analysis().violations().size()));
+        }
+        return true;
     }
-    return true;
+    return false;
 }
 
 /// Fold formula size and the backend's solver counters into the task stats,

@@ -8,7 +8,7 @@ namespace etcs::lint {
 
 namespace {
 
-constexpr std::array<CodeInfo, 34> kCodes{{
+constexpr std::array<CodeInfo, 37> kCodes{{
     // Parse-level issues (emitted by the lenient readers in railway/io.hpp).
     {"L001", Severity::Error, "syntax error (malformed line, number, or clock value)"},
     {"L002", Severity::Error, "duplicate entity name"},
@@ -32,6 +32,10 @@ constexpr std::array<CodeInfo, 34> kCodes{{
     {"L025", Severity::Error, "run cannot complete within the horizon (lower bound)"},
     {"L026", Severity::Error, "two trains pinned to the same segment at the same step"},
     {"L027", Severity::Error, "train has more than one run"},
+    // Reachability analysis (lint/reach.hpp): fixpoint time-window facts.
+    {"R001", Severity::Error, "scheduled position outside its reachability window"},
+    {"R002", Severity::Error, "dead stop: dwell cannot fit inside the reachability window"},
+    {"R003", Severity::Info, "vacuous deadline: later obligations already force it"},
     // CNF formula.
     {"C001", Severity::Warning, "tautological clause (contains x and not-x)"},
     {"C002", Severity::Warning, "duplicate literal inside a clause"},

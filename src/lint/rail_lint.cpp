@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+
+#include "lint/reach.hpp"
 #include <map>
 #include <string>
 #include <string_view>
@@ -37,26 +39,6 @@ rail::ParseIssueHandler issueCollector(LintReport& report) {
         report.add(Diagnostic{issue.code, severityOf(issue.code), issue.entity, issue.message,
                               issue.hint, issue.line});
     };
-}
-
-/// Number of discrete steps a stop must be held (mirrors the rounding in
-/// core::Instance so the lower bounds match the encoding exactly).
-int dwellSteps(const TimedStop& stop, Resolution resolution) {
-    if (stop.dwell.count() <= 0) {
-        return 1;
-    }
-    const auto steps = (stop.dwell.count() + resolution.temporal.count() - 1) /
-                       resolution.temporal.count();
-    return std::max(static_cast<int>(steps), 1);
-}
-
-/// Earliest number of steps a train needs to bring any of its segments from
-/// `from`-adjacency to `to`: graph distance minus the body slack (a train of
-/// k segments occupying `from` may already reach k-1 segments further),
-/// divided by the per-step advance. Sound: never overestimates.
-int travelLowerBound(int distance, int lengthSegments, int speedSegments) {
-    const int effective = std::max(0, distance - (lengthSegments - 1));
-    return (effective + speedSegments - 1) / speedSegments;
 }
 
 }  // namespace

@@ -90,6 +90,16 @@ std::string writeTempFile(const std::string& stem, const std::string& content) {
     return path;
 }
 
+/// Like writeTempFile, but keeps the extension last (etcslint classifies
+/// its inputs by extension).
+std::string writeSchedFile(const std::string& stem, const std::string& content) {
+    const std::string path =
+        testing::TempDir() + stem + "." + std::to_string(::getpid()) + ".sched";
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
 TEST(EtcslintCli, ShippedDataExitsZero) {
     const auto result =
         run(kLint + " " + kData + "/quickstart.rail " + kData + "/quickstart.sched");
@@ -134,6 +144,60 @@ TEST(EtcslintCli, CodesListsTheCatalogue) {
     EXPECT_EQ(result.exitCode, 0);
     EXPECT_NE(result.output.find("L024"), std::string::npos);
     EXPECT_NE(result.output.find("C010"), std::string::npos);
+    EXPECT_NE(result.output.find("R001"), std::string::npos);
+}
+
+TEST(EtcslintCli, CleanInputGetsAPerFileNoDiagnosticsLine) {
+    // Contract: in text mode every clean file is acknowledged explicitly,
+    // so "no output about file X" always means "file X was not linted".
+    const auto result =
+        run(kLint + " " + kData + "/quickstart.rail " + kData + "/quickstart.sched");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("no diagnostics"), std::string::npos) << result.output;
+}
+
+TEST(EtcslintCli, ReachRefutesADeadlineWithR001AndExitsOne) {
+    // SA -> SB is 5 segments; at 120 km/h and r = (500 m, 30 s) the train
+    // needs 3 steps, so a 30-second deadline is reach-refutable.
+    const std::string sched = writeSchedFile(
+        "cli_test_reach_infeasible",
+        "scenario rush\ntrain T 120 200\nrun T from SA dep 0:00 to SB arr 0:00:30\n");
+    const auto result = run(kLint + " --reach --rs 500 --rt 30 " + kFixtures +
+                            "/corridor.rail " + sched);
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("R001"), std::string::npos) << result.output;
+    EXPECT_NE(result.output.find("proven infeasible (no SAT solver required)"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(EtcslintCli, ReachOnFeasibleScheduleReportsWindowsAndExitsZero) {
+    const std::string sched = writeSchedFile(
+        "cli_test_reach_feasible",
+        "scenario relaxed\ntrain T 120 200\nrun T from SA dep 0:00 to SB arr 0:02:00\n");
+    const auto result = run(kLint + " --reach --rs 500 --rt 30 " + kFixtures +
+                            "/corridor.rail " + sched);
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("reach: train T"), std::string::npos) << result.output;
+}
+
+TEST(EtcslintCli, ReachJsonIsByteStable) {
+    const std::string sched = writeSchedFile(
+        "cli_test_reach_json",
+        "scenario relaxed\ntrain T 120 200\nrun T from SA dep 0:00 to SB arr 0:02:00\n");
+    const std::string command = kLint + " --reach --json --rs 500 --rt 30 " + kFixtures +
+                                "/corridor.rail " + sched;
+    const auto first = run(command);
+    EXPECT_EQ(first.exitCode, 0) << first.output;
+    EXPECT_NE(first.output.find("\"reach\""), std::string::npos) << first.output;
+    EXPECT_NE(first.output.find("\"windows\""), std::string::npos) << first.output;
+    const auto second = run(command);
+    EXPECT_EQ(first.output, second.output) << "reach JSON must be deterministic";
+}
+
+TEST(EtcslintCli, ReachWithMissingFileExitsTwo) {
+    const auto result = run(kLint + " --reach /nonexistent/net.rail");
+    EXPECT_EQ(result.exitCode, 2) << result.output;
 }
 
 TEST(GencnfCli, UnknownStudyExitsTwo) {

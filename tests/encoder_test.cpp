@@ -229,15 +229,20 @@ TEST(Encoder, ConesShrinkTheFormula) {
     Schedule s;
     s.addRun(w.run(t, "StA", "StB", 0, 5));
     const Instance instance(w.network, w.trains, s, kRes);
+    // Window pruning off in both encoders so the comparison isolates the
+    // cone restriction (the window analysis subsumes cones on this line).
     const auto pruned = cnf::makeInternalBackend();
     {
-        Encoder encoder(*pruned, instance);
+        EncoderOptions options;
+        options.pruneUnreachable = false;
+        Encoder encoder(*pruned, instance, options);
         encoder.encode(nullptr);
     }
     const auto full = cnf::makeInternalBackend();
     {
         EncoderOptions options;
         options.pruneWithCones = false;
+        options.pruneUnreachable = false;
         Encoder encoder(*full, instance, options);
         encoder.encode(nullptr);
     }

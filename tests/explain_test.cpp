@@ -4,9 +4,11 @@
 // provably infeasible fixtures, and the shrink/no-shrink contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/explain.hpp"
 #include "core/instance.hpp"
@@ -287,6 +289,50 @@ TEST(Explain, AgreesWithTheScheduleLinterOnTheCorridor) {
     }
     EXPECT_TRUE(citesTrainT);
     EXPECT_EQ(w.trains.train(instance.runs()[0].train).name, "T");
+}
+
+/// Sorted multiset of the cited diagnostic codes of an explanation.
+std::vector<std::string> citedCodes(const ExplainResult& result) {
+    std::vector<std::string> codes;
+    for (const ExplainEntry& entry : result.entries) {
+        codes.push_back(entry.code);
+    }
+    std::sort(codes.begin(), codes.end());
+    return codes;
+}
+
+// Reachability pruning must not change what the explanation engine
+// diagnoses: the same infeasible instance, explained with pruning on and
+// off, yields the same verdict, certification, and E-code multiset.
+TEST(Explain, PruningPreservesTheDiagnosis) {
+    ExplainOptions unpruned;
+    unpruned.encoder.pruneUnreachable = false;
+
+    {
+        CorridorWorld w;
+        const Instance instance(w.network, w.trains, w.schedule(2), kRes);
+        const VssLayout pure(instance.graph());
+        const ExplainResult pruned = explainInfeasibility(instance, &pure);
+        const ExplainResult full = explainInfeasibility(instance, &pure, unpruned);
+        ASSERT_TRUE(pruned.unsat);
+        ASSERT_TRUE(full.unsat);
+        EXPECT_TRUE(pruned.certified);
+        EXPECT_TRUE(full.certified);
+        EXPECT_EQ(citedCodes(pruned), citedCodes(full));
+    }
+    {
+        // The head-on meet is not reach-refutable (both runs meet their own
+        // deadlines); pruning only trims the encodings around the conflict.
+        HeadOnWorld w;
+        const Instance instance(w.network, w.trains, w.schedule, kRes);
+        const ExplainResult pruned = explainInfeasibility(instance, nullptr);
+        const ExplainResult full = explainInfeasibility(instance, nullptr, unpruned);
+        ASSERT_TRUE(pruned.unsat);
+        ASSERT_TRUE(full.unsat);
+        EXPECT_TRUE(pruned.certified);
+        EXPECT_TRUE(full.certified);
+        EXPECT_EQ(citedCodes(pruned), citedCodes(full));
+    }
 }
 
 }  // namespace

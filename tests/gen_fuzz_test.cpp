@@ -12,7 +12,10 @@
 ///     core::Solution that must pass the solution validator (the oracle of
 ///     gen/oracle.hpp), and the solver's own SAT witnesses must too;
 ///   * backend vs. backend: internal, deterministic portfolio, and (when
-///     built in) Z3 must agree on every verdict.
+///     built in) Z3 must agree on every verdict;
+///   * pruned vs. unpruned: the reachability-pruned encoding (the default;
+///     certifyUnsat also DRAT-checks its refutations) must agree with the
+///     full encoding on every verdict, and both witnesses must validate.
 ///
 /// Reproduce a failure with ETCS_TEST_SEED=N or --seed=N (see
 /// support/test_seed.hpp); the per-scenario SCOPED_TRACE names the instance.
@@ -114,6 +117,24 @@ TEST(GenFuzz, DifferentialBattery) {
                     ASSERT_TRUE(verdict.solution.has_value());
                     EXPECT_TRUE(
                         etcs::core::validateSolution(instance, *verdict.solution)
+                            .empty());
+                }
+
+                // Reachability pruning soundness: the unpruned encoding
+                // (the reference verdict above uses the default, pruned
+                // one) must agree on every verdict, and its witnesses must
+                // validate too.
+                etcs::core::TaskOptions unpruned;
+                unpruned.lintInstance = false;
+                unpruned.encoder.pruneUnreachable = false;
+                const auto fullVerdict =
+                    etcs::core::verifySchedule(instance, finest, unpruned);
+                EXPECT_EQ(fullVerdict.feasible, verdict.feasible)
+                    << "pruned and unpruned encodings disagree";
+                if (fullVerdict.feasible) {
+                    ASSERT_TRUE(fullVerdict.solution.has_value());
+                    EXPECT_TRUE(
+                        etcs::core::validateSolution(instance, *fullVerdict.solution)
                             .empty());
                 }
 
